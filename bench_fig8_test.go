@@ -1,0 +1,27 @@
+package tengig_test
+
+import (
+	"testing"
+
+	"tengig/internal/core"
+)
+
+// Figure 8: ideal vs MSS-allowed window. Paper: a ~26 KB theoretical window
+// with a ~9 KB MSS leaves only ~18 KB usable (31% lost); the §3.5.1 worked
+// example wastes nearly 50% of a 33,000-byte buffer once both the
+// receiver's and the sender's MSS alignment apply.
+
+func BenchmarkFigure8_WindowAudit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := core.WindowAudit()
+		fig8 := rows[0]
+		b.ReportMetric(float64(fig8.Usable), "usable_bytes")
+		b.ReportMetric(fig8.LossPct, "loss_pct")
+		b.ReportMetric(31, "loss_pct_paper")
+		// The worked example's two stages.
+		b.ReportMetric(float64(rows[2].Usable), "advertised_of_33000")
+		b.ReportMetric(26844, "advertised_paper")
+		b.ReportMetric(float64(rows[3].Usable), "sender_usable")
+		b.ReportMetric(17920, "sender_usable_paper")
+	}
+}

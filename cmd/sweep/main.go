@@ -1,0 +1,325 @@
+// Command sweep regenerates the paper's figures and tables as text, one
+// experiment per invocation (or all of them).
+//
+// Usage:
+//
+//	sweep -fig 3          # Figure 3: stock TCP, 1500 vs 9000 MTU
+//	sweep -fig 4          # Figure 4: oversized windows + MMRBC + UP
+//	sweep -fig 5          # Figure 5: MTUs 8160 and 16000
+//	sweep -fig 6          # Figure 6: latency with coalescing
+//	sweep -fig 7          # Figure 7: latency without coalescing
+//	sweep -fig 8          # Figure 8: window audit
+//	sweep -table 1        # Table 1: AIMD recovery times
+//	sweep -exp ladder     # §3.3 optimization ladder summary
+//	sweep -exp wan        # §4 record run
+//	sweep -exp multiflow  # §3.5.2 aggregation experiments
+//	sweep -exp compare    # §3.5.3 interconnect comparison
+//	sweep -exp anecdotes  # §3.4 E7505 / Itanium results
+//	sweep -exp mtu        # extension: MTU sweep (allocator-block sawtooth)
+//	sweep -all            # everything
+//	sweep -full ...       # paper-resolution payload grid (slower)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"tengig/internal/compare"
+	"tengig/internal/core"
+	"tengig/internal/tools"
+	"tengig/internal/units"
+)
+
+var (
+	fig   = flag.Int("fig", 0, "figure number to regenerate (3-8)")
+	table = flag.Int("table", 0, "table number to regenerate (1)")
+	exp   = flag.String("exp", "", "named experiment: ladder|wan|multiflow|compare|anecdotes|mtu")
+	all   = flag.Bool("all", false, "run everything")
+	full  = flag.Bool("full", false, "paper-resolution sweep (32768 writes, fine payload grid)")
+	csv   = flag.Bool("csv", false, "emit CSV rows instead of aligned tables (for plotting)")
+	seed  = flag.Int64("seed", 1, "simulation seed")
+)
+
+func main() {
+	log.SetFlags(0)
+	flag.Parse()
+	ran := false
+	run := func(cond bool, f func()) {
+		if cond || *all {
+			f()
+			ran = true
+		}
+	}
+	run(*fig == 3, figure3)
+	run(*fig == 4, figure4)
+	run(*fig == 5, figure5)
+	run(*fig == 6, figure6)
+	run(*fig == 7, figure7)
+	run(*fig == 8, figure8)
+	run(*table == 1, table1)
+	run(*exp == "ladder", ladder)
+	run(*exp == "wan", wanRecord)
+	run(*exp == "multiflow", multiflow)
+	run(*exp == "compare", comparison)
+	run(*exp == "anecdotes", anecdotes)
+	run(*exp == "mtu", mtuSweep)
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func payloads() []int {
+	if !*full {
+		return core.DefaultPayloads()
+	}
+	// Paper resolution: 128 B to 16 KB in fine steps.
+	var out []int
+	for p := 128; p <= 16384; p += 128 {
+		out = append(out, p)
+	}
+	return out
+}
+
+func count() int {
+	if *full {
+		return 32768
+	}
+	return 3000
+}
+
+func sweep(p core.Profile, t core.Tuning) *core.SweepResult {
+	res, err := core.SweepConfig{
+		Seed: *seed, Profile: p, Tuning: t,
+		Payloads: payloads(), Count: count(),
+	}.Run()
+	if err != nil {
+		log.Fatalf("sweep: %v", err)
+	}
+	return res
+}
+
+func printSeries(res *core.SweepResult) {
+	if *csv {
+		fmt.Printf("# %s\nconfig,payload,gbps,snd_load,rcv_load\n", res.Label)
+		for _, pt := range res.Points {
+			fmt.Printf("%s,%d,%.4f,%.3f,%.3f\n",
+				res.Label, pt.Payload, pt.Throughput.Gbps(), pt.SenderLoad, pt.ReceiverLoad)
+		}
+		fmt.Println()
+		return
+	}
+	fmt.Printf("# %s\n", res.Label)
+	fmt.Printf("%-10s %-12s %-10s %-10s\n", "payload", "Gb/s", "snd-load", "rcv-load")
+	for _, pt := range res.Points {
+		fmt.Printf("%-10d %-12.3f %-10.2f %-10.2f\n",
+			pt.Payload, pt.Throughput.Gbps(), pt.SenderLoad, pt.ReceiverLoad)
+	}
+	_, peak := res.Peak()
+	fmt.Printf("peak %.3f Gb/s, mean %.3f Gb/s\n\n", peak.Gbps(), res.Mean().Gbps())
+}
+
+func figure3() {
+	fmt.Println("== Figure 3: Throughput of Stock TCP: 1500- vs 9000-byte MTU ==")
+	fmt.Println("paper: peaks 1.8 Gb/s (1500) and 2.7 Gb/s (9000)")
+	printSeries(sweep(core.PE2650, core.Stock(1500)))
+	printSeries(sweep(core.PE2650, core.Stock(9000)))
+}
+
+func figure4() {
+	fmt.Println("== Figure 4: Oversized windows + PCI-X burst + UP kernel ==")
+	fmt.Println("paper: peaks 2.47 Gb/s (1500) and 3.9 Gb/s (9000)")
+	printSeries(sweep(core.PE2650, core.Optimized(1500)))
+	printSeries(sweep(core.PE2650, core.Optimized(9000)))
+}
+
+func figure5() {
+	fmt.Println("== Figure 5: Cumulative optimizations with non-standard MTUs ==")
+	fmt.Println("paper: peaks 4.11 Gb/s (8160) and 4.09 Gb/s (16000)")
+	fmt.Printf("reference lines: GbE 1.0, Myrinet 2.0, QsNet 3.2, 10GbE(PCI-X) %.1f Gb/s\n\n",
+		compare.TenGbETheoretical.Gbps())
+	printSeries(sweep(core.PE2650, core.Optimized(8160)))
+	printSeries(sweep(core.PE2650, core.Optimized(16000)))
+}
+
+func latency(t core.Tuning, via bool, label string) {
+	pts, err := core.LatencyConfig{
+		Seed: *seed, Profile: core.PE2650, Tuning: t,
+		Payloads: core.DefaultLatencyPayloads(), Reps: 20, ViaSwitch: via,
+	}.Run()
+	if err != nil {
+		log.Fatalf("latency: %v", err)
+	}
+	if *csv {
+		fmt.Printf("# %s\npayload,one_way_us\n", label)
+		for _, pt := range pts {
+			fmt.Printf("%d,%.3f\n", pt.Payload, pt.OneWay.Micros())
+		}
+		fmt.Println()
+		return
+	}
+	fmt.Printf("# %s\n%-10s %s\n", label, "payload", "one-way")
+	for _, pt := range pts {
+		fmt.Printf("%-10d %v\n", pt.Payload, pt.OneWay)
+	}
+	fmt.Println()
+}
+
+func figure6() {
+	fmt.Println("== Figure 6: End-to-end latency (5 us interrupt coalescing) ==")
+	fmt.Println("paper: 19 us back-to-back / 25 us via switch at 1 B; 23/28 us at 1 KB")
+	latency(core.Optimized(9000), false, "back-to-back")
+	latency(core.Optimized(9000), true, "through FastIron 1500")
+}
+
+func figure7() {
+	fmt.Println("== Figure 7: End-to-end latency without interrupt coalescing ==")
+	fmt.Println("paper: 14 us back-to-back at 1 B")
+	latency(core.Optimized(9000).WithoutCoalescing(), false, "back-to-back, coalescing off")
+}
+
+func figure8() {
+	fmt.Println("== Figure 8: Ideal vs MSS-allowed window ==")
+	fmt.Printf("%-55s %-10s %-8s %-10s %s\n", "case", "window", "MSS", "usable", "lost")
+	for _, r := range core.WindowAudit() {
+		fmt.Printf("%-55s %-10d %-8d %-10d %.0f%%\n",
+			r.Description, r.Ideal, r.MSS, r.Usable, r.LossPct)
+	}
+	fmt.Println()
+}
+
+func table1() {
+	fmt.Println("== Table 1: Time to recover from a single packet loss ==")
+	fmt.Printf("%-20s %-12s %-8s %-8s %s\n", "path", "bandwidth", "RTT", "MSS", "recovery")
+	for _, r := range core.Table1() {
+		fmt.Printf("%-20s %-12v %-8v %-8d %v\n", r.Path, r.BW, r.RTT, r.MSS, r.Recovery)
+	}
+	fmt.Println()
+}
+
+func ladder() {
+	fmt.Println("== §3.3 optimization ladder (9000-byte MTU) ==")
+	fmt.Println("paper peaks: stock 2.7 -> +MMRBC 3.6 -> +UP ~3.6 -> +256K 3.9 Gb/s")
+	steps, err := core.RunLadder(*seed, core.PE2650, 9000, payloads(), count())
+	if err != nil {
+		log.Fatalf("ladder: %v", err)
+	}
+	fmt.Printf("%-18s %-34s %-10s %s\n", "rung", "config", "peak", "mean")
+	for _, s := range steps {
+		_, peak := s.Result.Peak()
+		fmt.Printf("%-18s %-34s %-10.3f %.3f\n",
+			s.Name, s.Tuning.Label(), peak.Gbps(), s.Result.Mean().Gbps())
+	}
+	fmt.Println()
+}
+
+func wanRecord() {
+	fmt.Println("== §4: Sunnyvale -> Geneva record run ==")
+	fmt.Println("paper: 2.38 Gb/s sustained, ~99% payload efficiency, 1 TB < 1 hour")
+	res, err := core.RunWAN(core.WANConfig{Seed: *seed, Duration: 15 * units.Second})
+	if err != nil {
+		log.Fatalf("wan: %v", err)
+	}
+	fmt.Printf("sustained:   %v (ceiling %v, efficiency %.1f%%)\n",
+		res.Throughput, res.PayloadCeiling, res.Efficiency*100)
+	fmt.Printf("RTT:         %v   drops: %d   retransmits: %d\n",
+		res.RTT, res.BottleneckDrops, res.Retransmits)
+	fmt.Printf("terabyte in: %v\n\n", res.TimeToTerabyte)
+
+	fmt.Println("-- counterfactual: 3x-BDP socket buffers --")
+	over, err := core.RunWAN(core.WANConfig{
+		Seed: *seed, Duration: 15 * units.Second, SockBuf: 3 * 54 * 1024 * 1024})
+	if err != nil {
+		log.Fatalf("wan: %v", err)
+	}
+	fmt.Printf("sustained:   %v   drops: %d   retransmits: %d   timeouts: %d\n\n",
+		over.Throughput, over.BottleneckDrops, over.Retransmits, over.Timeouts)
+}
+
+func multiflow() {
+	fmt.Println("== §3.5.2: multi-flow aggregation through the FastIron 1500 ==")
+	agg := func(reverse bool, nics int) core.MultiFlowResult {
+		m, err := core.NewMultiFlowNICs(*seed, core.PE2650, core.Optimized(9000),
+			6, core.GbESenders, reverse, nics)
+		if err != nil {
+			log.Fatalf("multiflow: %v", err)
+		}
+		return core.RunMultiFlow(m, 200*units.Millisecond)
+	}
+	rx := agg(false, 1)
+	tx := agg(true, 1)
+	two := agg(false, 2)
+	fmt.Printf("6 GbE senders -> one 10GbE PE2650:   %v\n", rx.Aggregate)
+	fmt.Printf("one 10GbE PE2650 -> 6 GbE receivers: %v  (tx/rx %.2f; paper: equal)\n",
+		tx.Aggregate, tx.Aggregate.Gbps()/rx.Aggregate.Gbps())
+	fmt.Printf("same flows over two adapters:        %v  (ratio %.2f; paper: identical)\n\n",
+		two.Aggregate, two.Aggregate.Gbps()/rx.Aggregate.Gbps())
+}
+
+func comparison() {
+	fmt.Println("== §3.5.3: interconnect comparison ==")
+	res := sweep(core.PE2650, core.Optimized(8160))
+	_, peak := res.Peak()
+	pts, err := core.LatencyConfig{Seed: *seed, Profile: core.PE2650,
+		Tuning: core.Optimized(9000), Payloads: []int{1}, Reps: 20}.Run()
+	if err != nil {
+		log.Fatalf("compare: %v", err)
+	}
+	lat := pts[0].OneWay
+	fmt.Printf("%-10s %-8s %-12s %-10s %s\n", "network", "API", "throughput", "latency", "source")
+	fmt.Printf("%-10s %-8s %-12v %-10v %s\n", "10GbE", "TCP/IP", peak, lat, "this reproduction")
+	for _, r := range compare.Published() {
+		fmt.Printf("%-10s %-8s %-12v %-10v %s\n", r.Name, r.API, r.Throughput, r.Latency, r.Source)
+	}
+	fmt.Println()
+	for _, c := range compare.EvaluateClaims(peak, lat) {
+		mark := "HOLDS"
+		if !c.Holds {
+			mark = "FAILS"
+		}
+		fmt.Printf("[%s] %s (%s)\n", mark, c.Description, c.Detail)
+	}
+	fmt.Println()
+}
+
+func mtuSweep() {
+	fmt.Println("== MTU sweep (extension): the allocator-block sawtooth ==")
+	fmt.Println("throughput climbs with MTU, then dips past each power-of-2 block boundary")
+	mtus := []int{1500, 3000, 4000, 4200, 6000, 8000, 8160, 8400, 9000, 12000, 16000}
+	pts, err := core.MTUSweep(*seed, core.PE2650, mtus, 16384, count())
+	if err != nil {
+		log.Fatalf("mtu: %v", err)
+	}
+	fmt.Printf("%-8s %-10s %-10s %s\n", "MTU", "block", "peak", "mean")
+	for _, p := range pts {
+		fmt.Printf("%-8d %-10d %-10.3f %.3f\n", p.MTU, p.BlockSize, p.Peak.Gbps(), p.Mean.Gbps())
+	}
+	fmt.Println()
+}
+
+func anecdotes() {
+	fmt.Println("== §3.4 anecdotal results ==")
+	nots := sweep(core.IntelE7505, core.Stock(9000).WithoutTimestamps())
+	_, pn := nots.Peak()
+	ts := sweep(core.IntelE7505, core.Stock(9000))
+	_, pt := ts.Peak()
+	fmt.Printf("E7505 out-of-box (no timestamps): %v  (paper: 4.64 Gb/s)\n", pn)
+	fmt.Printf("E7505 with timestamps:            %v  (paper: ~10%% lower; got %.1f%%)\n",
+		pt, (1-pt.Gbps()/pn.Gbps())*100)
+	m, err := core.NewMultiFlow(*seed, core.ItaniumII,
+		core.Stock(9000).WithMMRBC(4096).WithSockBuf(256*1024), 10, core.GbESenders, false)
+	if err != nil {
+		log.Fatalf("anecdotes: %v", err)
+	}
+	res := core.RunMultiFlow(m, 200*units.Millisecond)
+	fmt.Printf("Itanium-II aggregated receive:    %v  (paper: 7.2 Gb/s)\n", res.Aggregate)
+	// STREAM context for the §3.5.2 memory-bandwidth discussion.
+	pair, err := core.BackToBack(*seed, core.PE4600, core.Optimized(9000))
+	if err != nil {
+		log.Fatalf("anecdotes: %v", err)
+	}
+	fmt.Printf("PE4600 STREAM:                    %v  (paper: 12.8 Gb/s, yet no TCP gain)\n\n",
+		tools.Stream(pair.SrcHost))
+}

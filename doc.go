@@ -1,0 +1,23 @@
+// Package tengig is a simulation-based reproduction of "Optimizing
+// 10-Gigabit Ethernet for Networks of Workstations, Clusters, and Grids: A
+// Case Study" (Feng et al., SC 2003).
+//
+// The library lives under internal/: a discrete-event simulation kernel
+// (internal/sim), a full TCP implementation with the Linux-2.4 window
+// behaviors the paper analyzes (internal/tcp), hardware substrates for the
+// era's hosts — PCI-X buses, chipset DMA engines, memory subsystems, buddy
+// allocation, 10GbE adapters with interrupt coalescing (internal/pci,
+// internal/mem, internal/alloc, internal/nic) — plus switches, WAN routers,
+// measurement tools, and the calibrated experiment harness
+// (internal/fabric, internal/wan, internal/tools, internal/core).
+//
+// The benchmark files in this directory regenerate every figure and table
+// of the paper's evaluation:
+//
+//	go test -bench=. -benchtime=1x .
+//
+// Each benchmark reports the simulated result via testing.B metrics
+// alongside the paper's published value (suffix _paper). The cmd/sweep
+// binary prints the same results as full tables; EXPERIMENTS.md records
+// paper-vs-measured for every experiment.
+package tengig

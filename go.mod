@@ -1,0 +1,3 @@
+module tengig
+
+go 1.22

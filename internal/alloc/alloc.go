@@ -1,0 +1,96 @@
+// Package alloc models the Linux buddy/slab allocator behavior that drives
+// the paper's MTU findings (§3.3): packet buffers come from power-of-2 sized
+// blocks, so a 9000-byte-MTU frame (9000 + Ethernet header + skb padding)
+// needs a 16 KB block and wastes ~7 KB, while an 8160-byte MTU fits an 8 KB
+// block exactly. Larger blocks are also more expensive to allocate because
+// the kernel must find more contiguous pages (higher buddy order).
+package alloc
+
+import (
+	"tengig/internal/units"
+)
+
+// SKBOverhead is the extra space an sk_buff reserves in its data block
+// beyond the frame itself (the headroom padding Linux 2.4 adds). Chosen so
+// that the paper's arithmetic holds: an 8160-byte-MTU frame fits an
+// 8192-byte block (8160 payload+headers + 14 Ethernet + 16 = 8190 <= 8192)
+// while a 9000-byte-MTU frame needs 16384, "wasting roughly 7000 bytes".
+const SKBOverhead = 16
+
+// PageSize is the allocator's base page.
+const PageSize = 4096
+
+// MinBlock is the smallest slab block handed out.
+const MinBlock = 32
+
+// BlockFor returns the power-of-2 block size used for a frame whose on-host
+// size (MTU-constrained IP datagram length) is n bytes.
+func BlockFor(n int) int64 {
+	if n < 0 {
+		panic("alloc: negative size")
+	}
+	b := units.NextPow2(int64(n) + SKBOverhead)
+	if b < MinBlock {
+		b = MinBlock
+	}
+	return b
+}
+
+// Order returns the buddy order of a block: 0 for blocks up to one page,
+// 1 for two pages, and so on.
+func Order(block int64) int {
+	o := 0
+	for p := int64(PageSize); p < block; p <<= 1 {
+		o++
+	}
+	return o
+}
+
+// Allocator models allocation cost and accounts waste. The zero value is
+// unusable; use New.
+type Allocator struct {
+	// baseCost is charged for every allocation (slab fast path).
+	baseCost units.Time
+	// orderCost is charged per buddy order above zero: the growing expense
+	// of finding contiguous pages (§3.3 "far greater stress on the kernel's
+	// memory-allocation subsystem").
+	orderCost units.Time
+
+	allocs     int64
+	bytesAsked int64
+	bytesBlock int64
+}
+
+// New returns an allocator with the given cost model.
+func New(baseCost, orderCost units.Time) *Allocator {
+	if baseCost < 0 || orderCost < 0 {
+		panic("alloc: negative cost")
+	}
+	return &Allocator{baseCost: baseCost, orderCost: orderCost}
+}
+
+// Alloc models allocating a buffer for n bytes: it returns the block size
+// used and the CPU cost of the allocation.
+func (a *Allocator) Alloc(n int) (block int64, cost units.Time) {
+	block = BlockFor(n)
+	cost = a.baseCost + units.Time(Order(block))*a.orderCost
+	a.allocs++
+	a.bytesAsked += int64(n)
+	a.bytesBlock += block
+	return block, cost
+}
+
+// Allocs returns the number of allocations performed.
+func (a *Allocator) Allocs() int64 { return a.allocs }
+
+// WastedBytes returns cumulative block bytes not covered by requests.
+func (a *Allocator) WastedBytes() int64 { return a.bytesBlock - a.bytesAsked }
+
+// WasteFraction returns wasted bytes over total block bytes (0 with no
+// allocations).
+func (a *Allocator) WasteFraction() float64 {
+	if a.bytesBlock == 0 {
+		return 0
+	}
+	return float64(a.bytesBlock-a.bytesAsked) / float64(a.bytesBlock)
+}

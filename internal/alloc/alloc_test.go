@@ -1,0 +1,129 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tengig/internal/units"
+)
+
+func TestBlockForPaperMTUs(t *testing.T) {
+	// The paper's core observation: an 8160-byte MTU frame fits an 8 KB
+	// block; a 9000-byte MTU frame needs 16 KB, wasting ~7 KB.
+	if got := BlockFor(8160 + 14); got != 8192 {
+		t.Errorf("BlockFor(8160 MTU frame) = %d, want 8192", got)
+	}
+	if got := BlockFor(9000 + 14); got != 16384 {
+		t.Errorf("BlockFor(9000 MTU frame) = %d, want 16384", got)
+	}
+	if got := BlockFor(1500 + 14); got != 2048 {
+		t.Errorf("BlockFor(1500 MTU frame) = %d, want 2048", got)
+	}
+	// A 16000-byte MTU frame still fits a 16 KB block (16014 + 16 = 16030):
+	// same block order as 9000 MTU but twice the payload per allocation,
+	// which is why the paper's 16000-byte MTU matches 8160's peak.
+	if got := BlockFor(16000 + 14); got != 16384 {
+		t.Errorf("BlockFor(16000 MTU frame) = %d, want 16384", got)
+	}
+}
+
+func TestBlockForSmall(t *testing.T) {
+	if got := BlockFor(0); got != MinBlock {
+		t.Errorf("BlockFor(0) = %d, want %d", got, MinBlock)
+	}
+}
+
+func TestBlockForPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	BlockFor(-1)
+}
+
+func TestOrder(t *testing.T) {
+	cases := []struct {
+		block int64
+		want  int
+	}{
+		{32, 0}, {4096, 0}, {8192, 1}, {16384, 2}, {32768, 3},
+	}
+	for _, c := range cases {
+		if got := Order(c.block); got != c.want {
+			t.Errorf("Order(%d) = %d, want %d", c.block, got, c.want)
+		}
+	}
+}
+
+func TestAllocCostModel(t *testing.T) {
+	a := New(100*units.Nanosecond, 500*units.Nanosecond)
+	_, c0 := a.Alloc(1000) // order 0
+	if c0 != 100*units.Nanosecond {
+		t.Errorf("order-0 cost = %v", c0)
+	}
+	_, c2 := a.Alloc(9014) // 16 KB block, order 2
+	if c2 != 100*units.Nanosecond+2*500*units.Nanosecond {
+		t.Errorf("order-2 cost = %v", c2)
+	}
+	if a.Allocs() != 2 {
+		t.Errorf("allocs = %d", a.Allocs())
+	}
+}
+
+func TestWasteAccounting(t *testing.T) {
+	a := New(0, 0)
+	a.Alloc(9014) // block 16384, waste 7370
+	if got := a.WastedBytes(); got != 16384-9014 {
+		t.Errorf("waste = %d", got)
+	}
+	wf := a.WasteFraction()
+	if wf < 0.44 || wf > 0.46 {
+		t.Errorf("waste fraction = %v, want ~0.45 (the paper's ~7000/16384)", wf)
+	}
+}
+
+func TestWasteFractionEmpty(t *testing.T) {
+	a := New(0, 0)
+	if a.WasteFraction() != 0 {
+		t.Error("empty allocator waste should be 0")
+	}
+}
+
+func TestNegativeCostPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(-1, 0)
+}
+
+// Properties: blocks are powers of two, cover the request, and are minimal.
+func TestBlockForProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		n := int(raw)
+		b := BlockFor(n)
+		isPow2 := b&(b-1) == 0
+		covers := b >= int64(n)+SKBOverhead
+		minimal := b == MinBlock || b/2 < int64(n)+SKBOverhead
+		return isPow2 && covers && minimal
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: allocation cost is monotone in block order.
+func TestCostMonotoneProperty(t *testing.T) {
+	a := New(100*units.Nanosecond, 300*units.Nanosecond)
+	f := func(raw uint16) bool {
+		n := int(raw)
+		_, c1 := a.Alloc(n)
+		_, c2 := a.Alloc(n + 4096)
+		return c2 >= c1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

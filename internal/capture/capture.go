@@ -1,0 +1,255 @@
+// Package capture is the simulator's tcpdump: it records TCP segments as
+// they cross a host's network boundary, supporting the wire-level analysis
+// the paper performs in §3.5.1 ("Using tcpdump and by monitoring the
+// kernel's internal state variables with MAGNET, we trace the causes of
+// this behavior to inefficient window use").
+//
+// A Capture attaches to a host as a tap; experiments then query it for
+// per-flow sequence/ack/window traces, retransmission detection, and
+// advertised-window statistics.
+package capture
+
+import (
+	"fmt"
+	"strings"
+
+	"tengig/internal/ipv4"
+	"tengig/internal/packet"
+	"tengig/internal/stats"
+	"tengig/internal/tcp"
+	"tengig/internal/units"
+)
+
+// Direction marks which way a segment crossed the tap.
+type Direction uint8
+
+// Tap directions.
+const (
+	Out Direction = iota // transmitted by the tapped host
+	In                   // received by the tapped host
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	if d == Out {
+		return "out"
+	}
+	return "in"
+}
+
+// Record is one captured segment (header fields only, like a snaplen that
+// stops after the TCP header).
+type Record struct {
+	At   units.Time
+	Dir  Direction
+	Flow uint32
+	Src  ipv4.Addr
+	Dst  ipv4.Addr
+	Seq  int64
+	Len  int
+	Ack  int64
+	Wnd  int
+	SYN  bool
+	FIN  bool
+}
+
+// String renders the record in tcpdump-ish form.
+func (r Record) String() string {
+	flags := "."
+	if r.SYN {
+		flags = "S"
+	} else if r.FIN {
+		flags = "F"
+	}
+	return fmt.Sprintf("%v %s %v > %v: %s seq %d:%d ack %d win %d",
+		r.At, r.Dir, r.Src, r.Dst, flags, r.Seq, r.Seq+int64(r.Len), r.Ack, r.Wnd)
+}
+
+// Capture is a bounded segment recorder with an optional filter.
+type Capture struct {
+	max     int
+	filter  func(*Record) bool
+	records []Record
+	seen    int64
+	dropped int64 // records discarded due to the bound
+}
+
+// New returns a capture retaining at most max records (0 = 64k default).
+func New(max int) *Capture {
+	if max <= 0 {
+		max = 65536
+	}
+	return &Capture{max: max}
+}
+
+// SetFilter installs a predicate; only matching records are retained.
+func (c *Capture) SetFilter(f func(*Record) bool) { c.filter = f }
+
+// Observe records a packet crossing the tap. Non-TCP packets are ignored.
+func (c *Capture) Observe(dir Direction, pk *packet.Packet, at units.Time) {
+	if c == nil || pk.Proto != packet.ProtoTCP {
+		return
+	}
+	seg, ok := pk.Seg.(*tcp.Segment)
+	if !ok {
+		return
+	}
+	c.seen++
+	r := Record{
+		At: at, Dir: dir, Flow: pk.FlowID, Src: pk.Src, Dst: pk.Dst,
+		Seq: seg.Seq, Len: seg.Len, Ack: seg.Ack, Wnd: seg.Wnd,
+		SYN: seg.SYN, FIN: seg.FIN,
+	}
+	if c.filter != nil && !c.filter(&r) {
+		return
+	}
+	if len(c.records) >= c.max {
+		c.dropped++
+		return
+	}
+	c.records = append(c.records, r)
+}
+
+// Records returns the retained records in capture order.
+func (c *Capture) Records() []Record { return c.records }
+
+// Seen returns the number of TCP segments observed (pre-filter).
+func (c *Capture) Seen() int64 { return c.seen }
+
+// Truncated returns how many matching records were discarded at the bound.
+func (c *Capture) Truncated() int64 { return c.dropped }
+
+// Retransmissions returns the outgoing data records whose sequence range
+// had already been transmitted — the wire-level retransmission view.
+func (c *Capture) Retransmissions() []Record {
+	var out []Record
+	maxEnd := map[uint32]int64{}
+	for _, r := range c.records {
+		if r.Dir != Out || r.Len == 0 {
+			continue
+		}
+		if r.Seq < maxEnd[r.Flow] {
+			out = append(out, r)
+		}
+		if end := r.Seq + int64(r.Len); end > maxEnd[r.Flow] {
+			maxEnd[r.Flow] = end
+		}
+	}
+	return out
+}
+
+// WindowTrace returns (time, advertised window) points from segments the
+// tapped host received on the flow — the §3.5.1 window-use diagnosis.
+func (c *Capture) WindowTrace(flow uint32) (at []units.Time, wnd []int) {
+	for _, r := range c.records {
+		if r.Dir == In && r.Flow == flow {
+			at = append(at, r.At)
+			wnd = append(wnd, r.Wnd)
+		}
+	}
+	return at, wnd
+}
+
+// WindowStats summarizes the peer-advertised window across the capture.
+type WindowStats struct {
+	Min, Max int
+	Mean     float64
+	// MSSAlignedFraction is the fraction of advertisements that are whole
+	// multiples of mss, within the window-scaling quantum (1.0 under Linux
+	// SWS avoidance).
+	MSSAlignedFraction float64
+	Samples            int
+}
+
+// AnalyzeWindow computes WindowStats for the flow against an expected MSS.
+// quantum is the window-scale granularity (1 << wscale); scaled windows are
+// rounded down to quantum multiples on the wire, so alignment is judged
+// modulo that rounding. Pass 1 (or 0) for unscaled connections.
+func (c *Capture) AnalyzeWindow(flow uint32, mss, quantum int) WindowStats {
+	if quantum < 1 {
+		quantum = 1
+	}
+	_, wnds := c.WindowTrace(flow)
+	st := WindowStats{Min: int(^uint(0) >> 1)}
+	aligned := 0
+	sum := 0
+	for _, w := range wnds {
+		if w < st.Min {
+			st.Min = w
+		}
+		if w > st.Max {
+			st.Max = w
+		}
+		sum += w
+		if mss > 0 {
+			r := w % mss
+			if r < quantum || mss-r < quantum {
+				aligned++
+			}
+		}
+	}
+	st.Samples = len(wnds)
+	if st.Samples == 0 {
+		st.Min = 0
+		return st
+	}
+	st.Mean = float64(sum) / float64(st.Samples)
+	st.MSSAlignedFraction = float64(aligned) / float64(st.Samples)
+	return st
+}
+
+// SegmentSizes returns a count per outgoing payload size — how often the
+// sender used full-MSS vs partial segments.
+func (c *Capture) SegmentSizes() map[int]int64 {
+	out := map[int]int64{}
+	for _, r := range c.records {
+		if r.Dir == Out && r.Len > 0 {
+			out[r.Len]++
+		}
+	}
+	return out
+}
+
+// Dump renders up to n records, tcpdump style.
+func (c *Capture) Dump(n int) string {
+	if n <= 0 || n > len(c.records) {
+		n = len(c.records)
+	}
+	var b strings.Builder
+	for _, r := range c.records[:n] {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RateSeries buckets the flow's received payload into fixed intervals and
+// returns per-bucket throughput — a throughput-over-time view recovered
+// purely from the wire trace, like post-processing a pcap.
+func (c *Capture) RateSeries(flow uint32, dir Direction, bucket units.Time) *stats.Series {
+	s := &stats.Series{Name: fmt.Sprintf("flow%d/%s", flow, dir)}
+	if bucket <= 0 || len(c.records) == 0 {
+		return s
+	}
+	start := c.records[0].At
+	cur := start
+	var bytes int64
+	flush := func(end units.Time) {
+		s.Add(cur.Seconds(), units.Throughput(bytes, end-cur).Gbps())
+		cur = end
+		bytes = 0
+	}
+	for _, r := range c.records {
+		if r.Flow != flow || r.Dir != dir || r.Len == 0 {
+			continue
+		}
+		for r.At >= cur+bucket {
+			flush(cur + bucket)
+		}
+		bytes += int64(r.Len)
+	}
+	if bytes > 0 {
+		flush(cur + bucket)
+	}
+	return s
+}

@@ -1,0 +1,170 @@
+package capture
+
+import (
+	"strings"
+	"testing"
+
+	"tengig/internal/ipv4"
+	"tengig/internal/packet"
+	"tengig/internal/tcp"
+	"tengig/internal/units"
+)
+
+func pkt(flow uint32, seg *tcp.Segment) *packet.Packet {
+	return &packet.Packet{
+		FlowID: flow, Proto: packet.ProtoTCP,
+		Src: ipv4.HostN(1), Dst: ipv4.HostN(2),
+		Payload: seg.Len, L4Header: seg.HeaderLen(), Seg: seg,
+	}
+}
+
+func TestNilCaptureIsSafe(t *testing.T) {
+	var c *Capture
+	c.Observe(Out, pkt(1, &tcp.Segment{Len: 100}), 0)
+}
+
+func TestObserveAndDump(t *testing.T) {
+	c := New(10)
+	c.Observe(Out, pkt(1, &tcp.Segment{Seq: 0, Len: 1448, Ack: 0, Wnd: 65160}), units.Microsecond)
+	c.Observe(In, pkt(1, &tcp.Segment{Ack: 1448, Wnd: 63712}), 2*units.Microsecond)
+	if c.Seen() != 2 || len(c.Records()) != 2 {
+		t.Fatalf("seen=%d records=%d", c.Seen(), len(c.Records()))
+	}
+	dump := c.Dump(0)
+	if !strings.Contains(dump, "out") || !strings.Contains(dump, "in") ||
+		!strings.Contains(dump, "seq 0:1448") || !strings.Contains(dump, "win 63712") {
+		t.Errorf("dump:\n%s", dump)
+	}
+}
+
+func TestNonTCPIgnored(t *testing.T) {
+	c := New(10)
+	c.Observe(Out, &packet.Packet{Proto: packet.ProtoUDP, Payload: 100}, 0)
+	if c.Seen() != 0 {
+		t.Error("UDP packet captured")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	c := New(10)
+	c.SetFilter(func(r *Record) bool { return r.Len > 0 })
+	c.Observe(Out, pkt(1, &tcp.Segment{Len: 100}), 0)
+	c.Observe(In, pkt(1, &tcp.Segment{Ack: 100}), 0) // pure ack filtered
+	if len(c.Records()) != 1 {
+		t.Fatalf("records = %d", len(c.Records()))
+	}
+	if c.Seen() != 2 {
+		t.Errorf("seen = %d", c.Seen())
+	}
+}
+
+func TestBoundAndTruncation(t *testing.T) {
+	c := New(3)
+	for i := 0; i < 5; i++ {
+		c.Observe(Out, pkt(1, &tcp.Segment{Seq: int64(i) * 100, Len: 100}), 0)
+	}
+	if len(c.Records()) != 3 || c.Truncated() != 2 {
+		t.Fatalf("records=%d truncated=%d", len(c.Records()), c.Truncated())
+	}
+}
+
+func TestRetransmissionDetection(t *testing.T) {
+	c := New(100)
+	// Normal progress, then a retransmission of [100,200).
+	for _, seq := range []int64{0, 100, 200, 100, 300} {
+		c.Observe(Out, pkt(1, &tcp.Segment{Seq: seq, Len: 100}), 0)
+	}
+	retx := c.Retransmissions()
+	if len(retx) != 1 || retx[0].Seq != 100 {
+		t.Fatalf("retransmissions = %v", retx)
+	}
+	// Per-flow isolation: another flow reusing low seqs is not a retx.
+	c.Observe(Out, pkt(2, &tcp.Segment{Seq: 0, Len: 100}), 0)
+	if len(c.Retransmissions()) != 1 {
+		t.Error("cross-flow retransmission false positive")
+	}
+}
+
+func TestWindowTraceAndStats(t *testing.T) {
+	c := New(100)
+	mss := 8948
+	for i, w := range []int{5 * mss, 4 * mss, 5 * mss, 3 * mss} {
+		c.Observe(In, pkt(7, &tcp.Segment{Ack: int64(i) * 100, Wnd: w}), units.Time(i)*units.Microsecond)
+	}
+	at, wnd := c.WindowTrace(7)
+	if len(at) != 4 || len(wnd) != 4 {
+		t.Fatalf("trace lengths %d/%d", len(at), len(wnd))
+	}
+	st := c.AnalyzeWindow(7, mss, 1)
+	if st.Samples != 4 {
+		t.Fatalf("samples = %d", st.Samples)
+	}
+	if st.Min != 3*mss || st.Max != 5*mss {
+		t.Errorf("min/max = %d/%d", st.Min, st.Max)
+	}
+	if st.MSSAlignedFraction != 1.0 {
+		t.Errorf("aligned fraction = %v, want 1.0 (SWS avoidance)", st.MSSAlignedFraction)
+	}
+	if st.Mean != float64(17*mss)/4 {
+		t.Errorf("mean = %v", st.Mean)
+	}
+}
+
+func TestAnalyzeWindowEmpty(t *testing.T) {
+	c := New(10)
+	st := c.AnalyzeWindow(1, 1448, 0)
+	if st.Samples != 0 || st.Min != 0 || st.Max != 0 {
+		t.Errorf("empty stats: %+v", st)
+	}
+}
+
+func TestSegmentSizes(t *testing.T) {
+	c := New(100)
+	for _, l := range []int{8948, 8948, 1448, 0} {
+		c.Observe(Out, pkt(1, &tcp.Segment{Len: l}), 0)
+	}
+	sizes := c.SegmentSizes()
+	if sizes[8948] != 2 || sizes[1448] != 1 {
+		t.Errorf("sizes = %v", sizes)
+	}
+	if _, ok := sizes[0]; ok {
+		t.Error("pure acks should not appear in segment sizes")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Out.String() != "out" || In.String() != "in" {
+		t.Error("direction names")
+	}
+}
+
+func TestRateSeries(t *testing.T) {
+	c := New(1000)
+	// Two buckets: 10 segments in the first millisecond, 5 in the second.
+	for i := 0; i < 10; i++ {
+		c.Observe(Out, pkt(1, &tcp.Segment{Seq: int64(i) * 1000, Len: 1000}),
+			units.Time(i)*50*units.Microsecond)
+	}
+	for i := 0; i < 5; i++ {
+		c.Observe(Out, pkt(1, &tcp.Segment{Seq: int64(100 + i*1000), Len: 1000}),
+			units.Millisecond+units.Time(i)*50*units.Microsecond)
+	}
+	s := c.RateSeries(1, Out, units.Millisecond)
+	if s.Len() != 2 {
+		t.Fatalf("buckets = %d, want 2", s.Len())
+	}
+	// 10 KB in 1 ms = 80 Mb/s; 5 KB in 1 ms = 40 Mb/s.
+	if s.Y[0] < 0.079 || s.Y[0] > 0.081 {
+		t.Errorf("bucket 0 = %v Gb/s, want ~0.08", s.Y[0])
+	}
+	if s.Y[1] < 0.039 || s.Y[1] > 0.041 {
+		t.Errorf("bucket 1 = %v Gb/s, want ~0.04", s.Y[1])
+	}
+	// Degenerate inputs.
+	if c.RateSeries(1, Out, 0).Len() != 0 {
+		t.Error("zero bucket should return empty series")
+	}
+	if c.RateSeries(99, Out, units.Millisecond).Len() != 0 {
+		t.Error("unknown flow should return empty series")
+	}
+}

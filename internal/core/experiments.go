@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+
+	"tengig/internal/host"
+	"tengig/internal/stats"
+	"tengig/internal/tools"
+	"tengig/internal/units"
+)
+
+// SweepConfig describes a throughput-vs-payload sweep (Figures 3, 4, 5).
+type SweepConfig struct {
+	Seed    int64
+	Profile Profile
+	Tuning  Tuning
+	// Payloads are the application write sizes; DefaultPayloads() mirrors
+	// the paper's 128 B – 16 KB range.
+	Payloads []int
+	// Count is the number of writes per point (the paper uses 32768;
+	// smaller values trade smoothness for speed).
+	Count int
+	// ViaSwitch routes through the FastIron (Figure 2(b)) instead of the
+	// crossover cable.
+	ViaSwitch bool
+	// Timeout bounds each point's simulated time.
+	Timeout units.Time
+}
+
+// DefaultPayloads returns the sweep grid: log-spaced across 128 B – 16 KB
+// with extra resolution around the jumbo-frame MSS boundaries where the
+// paper's Figure 3 dip lives.
+func DefaultPayloads() []int {
+	return []int{
+		128, 256, 512, 1024, 1448, 2048, 2896, 4096, 5792, 6500,
+		7000, 7436, 7800, 8148, 8448, 8700, 8948, 9216, 10240, 12288,
+		14336, 16384,
+	}
+}
+
+// Point is one sweep measurement.
+type Point struct {
+	Payload int
+	tools.ThroughputResult
+}
+
+// SweepResult is a labeled series plus its raw points.
+type SweepResult struct {
+	Label  string
+	Series stats.Series
+	Points []Point
+}
+
+// Peak returns the best throughput and the payload it occurred at.
+func (r *SweepResult) Peak() (payload int, bw units.Bandwidth) {
+	x, y := r.Series.PeakY()
+	return int(x), units.Bandwidth(y * 1e9)
+}
+
+// Mean returns the average throughput across the sweep.
+func (r *SweepResult) Mean() units.Bandwidth {
+	return units.Bandwidth(r.Series.MeanY() * 1e9)
+}
+
+// MeanOver returns the average throughput for payloads >= lo.
+func (r *SweepResult) MeanOver(lo int) units.Bandwidth {
+	return units.Bandwidth(r.Series.MeanYOver(float64(lo)) * 1e9)
+}
+
+// Run executes the sweep: a fresh testbed per payload point (as the paper
+// restarts NTTCP per measurement), reporting Gb/s per payload.
+func (c SweepConfig) Run() (*SweepResult, error) {
+	if c.Count <= 0 {
+		c.Count = 3000
+	}
+	if len(c.Payloads) == 0 {
+		c.Payloads = DefaultPayloads()
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 30 * units.Second
+	}
+	res := &SweepResult{Label: c.Tuning.Label()}
+	res.Series.Name = res.Label
+	for _, payload := range c.Payloads {
+		pair, err := c.newPair()
+		if err != nil {
+			return nil, err
+		}
+		r, err := tools.NTTCP(pair, c.Count, payload, c.Timeout)
+		if err != nil {
+			return nil, fmt.Errorf("payload %d: %w", payload, err)
+		}
+		res.Series.Add(float64(payload), r.Throughput.Gbps())
+		res.Points = append(res.Points, Point{Payload: payload, ThroughputResult: r})
+	}
+	return res, nil
+}
+
+func (c SweepConfig) newPair() (*tools.Pair, error) {
+	if c.ViaSwitch {
+		return ThroughSwitch(c.Seed, c.Profile, c.Tuning)
+	}
+	return BackToBack(c.Seed, c.Profile, c.Tuning)
+}
+
+// LatencyConfig describes a NetPipe latency sweep (Figures 6, 7).
+type LatencyConfig struct {
+	Seed      int64
+	Profile   Profile
+	Tuning    Tuning
+	Payloads  []int
+	Reps      int
+	ViaSwitch bool
+}
+
+// DefaultLatencyPayloads mirrors Figure 6's 1–1024 byte range.
+func DefaultLatencyPayloads() []int {
+	return []int{1, 2, 4, 8, 16, 32, 64, 128, 192, 256, 384, 512, 640, 768, 896, 1024}
+}
+
+// Run executes the latency sweep.
+func (c LatencyConfig) Run() ([]tools.LatencyPoint, error) {
+	if len(c.Payloads) == 0 {
+		c.Payloads = DefaultLatencyPayloads()
+	}
+	if c.Reps <= 0 {
+		c.Reps = 20
+	}
+	t := c.Tuning
+	// NetPipe disables Nagle; a ping-pong never benefits from it.
+	pair, err := func() (*tools.Pair, error) {
+		if c.ViaSwitch {
+			return ThroughSwitch(c.Seed, c.Profile, t)
+		}
+		return BackToBack(c.Seed, c.Profile, t)
+	}()
+	if err != nil {
+		return nil, err
+	}
+	return tools.NetPipe(pair, c.Payloads, 3, c.Reps, units.Minute)
+}
+
+// PktgenRun measures the kernel packet generator on a back-to-back pair
+// (§3.5.2's 5.5 Gb/s ceiling measurement).
+func PktgenRun(seed int64, p Profile, t Tuning, count int64, ipLen int) (host.PktgenResult, error) {
+	pair, err := BackToBack(seed, p, t)
+	if err != nil {
+		return host.PktgenResult{}, err
+	}
+	var res host.PktgenResult
+	doneFired := false
+	pair.SrcHost.Pktgen(0, count, ipLen, pair.DstHost.Addr(), func(r host.PktgenResult) {
+		res = r
+		doneFired = true
+	})
+	pair.Eng.RunUntil(pair.Eng.Now() + units.Minute)
+	if !doneFired {
+		return host.PktgenResult{}, fmt.Errorf("core: pktgen did not finish")
+	}
+	return res, nil
+}
+
+// MultiFlowResult reports an aggregation run.
+type MultiFlowResult struct {
+	Aggregate units.Bandwidth
+	PerFlow   []units.Bandwidth
+	Elapsed   units.Time
+}
+
+// RunMultiFlow drives every pair simultaneously for the duration and
+// reports the aggregate goodput at the receivers.
+func RunMultiFlow(m *MultiFlow, duration units.Time) MultiFlowResult {
+	received := make([]int64, len(m.Pairs))
+	for i, pair := range m.Pairs {
+		i := i
+		pair.Dst.SetAutoRead(func(n int64) { received[i] += n })
+		pair.Src.Send(1<<50, 64*1024, false, nil)
+	}
+	start := m.Eng.Now()
+	m.Eng.RunUntil(start + duration)
+	elapsed := m.Eng.Now() - start
+	res := MultiFlowResult{Elapsed: elapsed}
+	var total int64
+	for _, n := range received {
+		total += n
+		res.PerFlow = append(res.PerFlow, units.Throughput(n, elapsed))
+	}
+	res.Aggregate = units.Throughput(total, elapsed)
+	return res
+}

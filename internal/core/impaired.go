@@ -1,0 +1,62 @@
+package core
+
+import (
+	"tengig/internal/netem"
+	"tengig/internal/phys"
+	"tengig/internal/sim"
+	"tengig/internal/tools"
+	"tengig/internal/units"
+)
+
+// FaultConfig selects netem-style impairments for one link direction.
+type FaultConfig struct {
+	// LossProb drops each packet independently.
+	LossProb float64
+	// DropNth drops exactly the nth packet once (Table 1's single loss).
+	DropNth int64
+	// ExtraDelay is added to every delivery.
+	ExtraDelay units.Time
+	// ReorderProb delays a packet by ReorderDelay, letting successors pass.
+	ReorderProb  float64
+	ReorderDelay units.Time
+}
+
+func (f FaultConfig) apply(im *netem.Impair) {
+	im.LossProb = f.LossProb
+	im.DropNth = f.DropNth
+	im.ExtraDelay = f.ExtraDelay
+	im.ReorderProb = f.ReorderProb
+	im.ReorderDelay = f.ReorderDelay
+}
+
+// Impairments configures fault injection on the back-to-back link:
+// AtoB affects sender→receiver traffic (data), BtoA the reverse (acks).
+type Impairments struct {
+	AtoB, BtoA FaultConfig
+}
+
+// BackToBackImpaired is BackToBack with netem fault injection interposed on
+// the crossover cable. The returned Impair handles expose live drop
+// counters and can be reconfigured mid-run.
+func BackToBackImpaired(seed int64, p Profile, t Tuning, imp Impairments) (*tools.Pair, *netem.Impair, *netem.Impair, error) {
+	eng := sim.NewEngine(seed)
+	a := buildHost(eng, p, t, "send", 1)
+	b := buildHost(eng, p, t, "recv", 2)
+	link := phys.NewLink(eng, "crossover", 10*units.GbitPerSecond, crossoverProp, phys.EthernetFraming{})
+
+	toB := netem.New(eng, b.NIC(0).Adapter, seed+1)
+	imp.AtoB.apply(toB)
+	toA := netem.New(eng, a.NIC(0).Adapter, seed+2)
+	imp.BtoA.apply(toA)
+
+	link.AtoB.SetDst(toB)
+	link.BtoA.SetDst(toA)
+	a.NIC(0).Adapter.AttachPort(link.AtoB)
+	b.NIC(0).Adapter.AttachPort(link.BtoA)
+
+	pair, err := connectPair(eng, a, b, t)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return pair, toB, toA, nil
+}

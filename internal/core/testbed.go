@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+
+	"tengig/internal/fabric"
+	"tengig/internal/host"
+	"tengig/internal/ipv4"
+	"tengig/internal/nic"
+	"tengig/internal/phys"
+	"tengig/internal/sim"
+	"tengig/internal/tools"
+	"tengig/internal/units"
+)
+
+// crossoverProp is the propagation delay of the back-to-back fiber.
+const crossoverProp = 50 * units.Nanosecond
+
+// hostLinkProp is the host-to-switch fiber delay.
+const hostLinkProp = 100 * units.Nanosecond
+
+// buildHost constructs a host from a profile and tuning, with one 10GbE
+// adapter.
+func buildHost(eng *sim.Engine, p Profile, t Tuning, name string, n int) *host.Host {
+	cfg := HostConfig(p, name, ipv4.HostN(n))
+	cfg.Kernel.Uniprocessor = t.Uniprocessor
+	cfg.Kernel.Timestamps = t.Timestamps
+	cfg.Kernel.NAPI = t.NAPI
+	cfg.Kernel.IRQRoundRobin = t.IRQRoundRobin
+	cfg.Kernel.TxQueueLen = t.TxQueueLen
+	cfg.PCI.MMRBC = t.MMRBC
+	h := host.New(eng, cfg)
+	ncfg := nic.TenGbE(t.MTU)
+	ncfg.CoalesceDelay = t.CoalesceDelay
+	ncfg.TSO = t.TSO
+	h.AddNIC(ncfg)
+	return h
+}
+
+// BackToBack builds the Figure 2(a) topology: two hosts joined by a
+// crossover cable, with a connected measurement pair on flow 1.
+func BackToBack(seed int64, p Profile, t Tuning) (*tools.Pair, error) {
+	eng := sim.NewEngine(seed)
+	a := buildHost(eng, p, t, "send", 1)
+	b := buildHost(eng, p, t, "recv", 2)
+	link := phys.NewLink(eng, "crossover", 10*units.GbitPerSecond, crossoverProp, phys.EthernetFraming{})
+	link.Connect(a.NIC(0).Adapter, b.NIC(0).Adapter)
+	a.NIC(0).Adapter.AttachPort(link.AtoB)
+	b.NIC(0).Adapter.AttachPort(link.BtoA)
+	return connectPair(eng, a, b, t)
+}
+
+// GbEBackToBack builds a Gigabit Ethernet pair from the same host profile —
+// the §3.5.3 baseline ("our extensive experience with GbE chipsets allows
+// us to achieve near line-speed performance with a 1500-byte MTU").
+func GbEBackToBack(seed int64, p Profile, t Tuning) (*tools.Pair, error) {
+	eng := sim.NewEngine(seed)
+	mk := func(name string, n int) *host.Host {
+		cfg := HostConfig(p, name, ipv4.HostN(n))
+		cfg.Kernel.Uniprocessor = t.Uniprocessor
+		cfg.Kernel.Timestamps = t.Timestamps
+		cfg.Kernel.TxQueueLen = t.TxQueueLen
+		cfg.PCI.MMRBC = t.MMRBC
+		h := host.New(eng, cfg)
+		ncfg := nic.GbE(t.MTU)
+		h.AddNIC(ncfg)
+		return h
+	}
+	a, b := mk("send", 1), mk("recv", 2)
+	link := phys.NewLink(eng, "crossover", units.GbitPerSecond, crossoverProp, phys.EthernetFraming{})
+	link.Connect(a.NIC(0).Adapter, b.NIC(0).Adapter)
+	a.NIC(0).Adapter.AttachPort(link.AtoB)
+	b.NIC(0).Adapter.AttachPort(link.BtoA)
+	return connectPair(eng, a, b, t)
+}
+
+// ThroughSwitch builds the Figure 2(b) topology: two hosts through the
+// FastIron 1500.
+func ThroughSwitch(seed int64, p Profile, t Tuning) (*tools.Pair, error) {
+	eng := sim.NewEngine(seed)
+	a := buildHost(eng, p, t, "send", 1)
+	b := buildHost(eng, p, t, "recv", 2)
+	sw := fabric.FastIron(eng, "fastiron1500")
+	attA := fabric.AttachDevice(eng, sw, a.NIC(0).Adapter, "a-sw",
+		10*units.GbitPerSecond, hostLinkProp, 4*units.MB)
+	a.NIC(0).Adapter.AttachPort(attA.ToSwitch)
+	attB := fabric.AttachDevice(eng, sw, b.NIC(0).Adapter, "b-sw",
+		10*units.GbitPerSecond, hostLinkProp, 4*units.MB)
+	b.NIC(0).Adapter.AttachPort(attB.ToSwitch)
+	sw.Route(a.Addr(), attA.PortIdx)
+	sw.Route(b.Addr(), attB.PortIdx)
+	return connectPair(eng, a, b, t)
+}
+
+func connectPair(eng *sim.Engine, a, b *host.Host, t Tuning) (*tools.Pair, error) {
+	cfg := t.TCPConfig()
+	sa := a.OpenSocket(1, b.Addr(), cfg, 0)
+	sb := b.OpenSocket(1, a.Addr(), cfg, 0)
+	p := &tools.Pair{Eng: eng, SrcHost: a, DstHost: b, Src: sa, Dst: sb}
+	if err := p.Connect(units.Second); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MultiFlow is the Figure 2(c) topology: n sender hosts aggregated through
+// the FastIron into one sink host, one flow per sender.
+type MultiFlow struct {
+	Eng     *sim.Engine
+	Senders []*host.Host
+	Sink    *host.Host
+	Pairs   []*tools.Pair
+	Switch  *fabric.Node
+}
+
+// SenderKind selects the sender host link speed in a MultiFlow build.
+type SenderKind int
+
+// Sender kinds.
+const (
+	// GbESenders attach each sender with a Gigabit Ethernet adapter (the
+	// paper aggregates many GbE hosts into one 10GbE host).
+	GbESenders SenderKind = iota
+	// TenGbESenders attach senders with 10GbE adapters.
+	TenGbESenders
+)
+
+// NewMultiFlow builds the aggregation testbed. reverse=false aggregates
+// senders→sink (receive-path stress at the sink); reverse=true makes the
+// sink transmit to all senders (transmit-path stress).
+func NewMultiFlow(seed int64, sinkProfile Profile, t Tuning, n int, kind SenderKind, reverse bool) (*MultiFlow, error) {
+	return NewMultiFlowNICs(seed, sinkProfile, t, n, kind, reverse, 1)
+}
+
+// NewMultiFlowNICs is NewMultiFlow with sinkNICs adapters in the sink, each
+// on its own PCI-X bus, with flows spread round-robin across them — the
+// §3.5.2 two-adapter experiment that rules the bus out as the bottleneck.
+func NewMultiFlowNICs(seed int64, sinkProfile Profile, t Tuning, n int, kind SenderKind, reverse bool, sinkNICs int) (*MultiFlow, error) {
+	if sinkNICs < 1 {
+		return nil, fmt.Errorf("core: sinkNICs %d", sinkNICs)
+	}
+	eng := sim.NewEngine(seed)
+	m := &MultiFlow{Eng: eng}
+	m.Switch = fabric.FastIron(eng, "fastiron1500")
+	m.Sink = buildHost(eng, sinkProfile, t, "sink", 1)
+	for extra := 1; extra < sinkNICs; extra++ {
+		ncfg := nic.TenGbE(t.MTU)
+		ncfg.CoalesceDelay = t.CoalesceDelay
+		ncfg.TSO = t.TSO
+		m.Sink.AddNIC(ncfg)
+	}
+	// Each sink adapter gets its own interface address so the switch can
+	// steer flows to a specific adapter (as multi-homed hosts do).
+	sinkAddrs := make([]ipv4.Addr, sinkNICs)
+	for idx := 0; idx < sinkNICs; idx++ {
+		att := fabric.AttachDevice(eng, m.Switch, m.Sink.NIC(idx).Adapter,
+			fmt.Sprintf("sink-sw%d", idx), 10*units.GbitPerSecond, hostLinkProp, 8*units.MB)
+		m.Sink.NIC(idx).Adapter.AttachPort(att.ToSwitch)
+		addr := m.Sink.Addr()
+		if idx > 0 {
+			addr = ipv4.HostN(1000 + idx)
+		}
+		sinkAddrs[idx] = addr
+		m.Switch.Route(addr, att.PortIdx)
+	}
+
+	for i := 0; i < n; i++ {
+		st := t
+		if kind == GbESenders {
+			// GbE senders run standard jumbo frames at most.
+			if st.MTU > 9000 {
+				st.MTU = 9000
+			}
+		}
+		sender := buildSender(eng, t, st, i, kind)
+		satt := fabric.AttachDevice(eng, m.Switch, sender.NIC(0).Adapter,
+			fmt.Sprintf("s%d-sw", i), senderRate(kind), hostLinkProp, 4*units.MB)
+		sender.NIC(0).Adapter.AttachPort(satt.ToSwitch)
+		m.Switch.Route(sender.Addr(), satt.PortIdx)
+		m.Senders = append(m.Senders, sender)
+
+		cfg := st.TCPConfig()
+		flow := uint32(i + 1)
+		sinkNIC := i % sinkNICs
+		var pair *tools.Pair
+		if reverse {
+			src := m.Sink.OpenSocket(flow, sender.Addr(), cfg, sinkNIC)
+			dst := sender.OpenSocket(flow, m.Sink.Addr(), cfg, 0)
+			pair = &tools.Pair{Eng: eng, SrcHost: m.Sink, DstHost: sender, Src: src, Dst: dst}
+		} else {
+			src := sender.OpenSocket(flow, sinkAddrs[sinkNIC], cfg, 0)
+			dst := m.Sink.OpenSocket(flow, sender.Addr(), cfg, sinkNIC)
+			pair = &tools.Pair{Eng: eng, SrcHost: sender, DstHost: m.Sink, Src: src, Dst: dst}
+		}
+		if err := pair.Connect(units.Second); err != nil {
+			return nil, fmt.Errorf("flow %d: %w", flow, err)
+		}
+		m.Pairs = append(m.Pairs, pair)
+	}
+	return m, nil
+}
+
+func senderRate(kind SenderKind) units.Bandwidth {
+	if kind == GbESenders {
+		return units.GbitPerSecond
+	}
+	return 10 * units.GbitPerSecond
+}
+
+// buildSender makes sender host i with the right adapter kind. Senders are
+// PE2650-class GbE clients in the paper's aggregation tests.
+func buildSender(eng *sim.Engine, sinkT, t Tuning, i int, kind SenderKind) *host.Host {
+	cfg := HostConfig(PE2650, fmt.Sprintf("sender%d", i), ipv4.HostN(10+i))
+	cfg.Kernel.Uniprocessor = t.Uniprocessor
+	cfg.Kernel.Timestamps = t.Timestamps
+	cfg.Kernel.TxQueueLen = t.TxQueueLen
+	cfg.PCI.MMRBC = t.MMRBC
+	h := host.New(eng, cfg)
+	var ncfg nic.Config
+	if kind == GbESenders {
+		ncfg = nic.GbE(t.MTU)
+	} else {
+		ncfg = nic.TenGbE(t.MTU)
+	}
+	ncfg.CoalesceDelay = t.CoalesceDelay
+	h.AddNIC(ncfg)
+	return h
+}

@@ -1,0 +1,65 @@
+// Package ethernet models Ethernet framing: header/trailer sizes, on-wire
+// overhead (preamble + inter-frame gap), minimum frame padding, and the MTU
+// values the paper studies, including the Intel PRO/10GbE adapter's
+// non-standard 8160- and 16000-byte MTUs.
+package ethernet
+
+// Frame layout constants, in bytes.
+const (
+	HeaderLen   = 14 // dst MAC + src MAC + ethertype
+	CRCLen      = 4
+	PreambleLen = 8  // 7 preamble + 1 SFD
+	IFGLen      = 12 // minimum inter-frame gap at line rate
+	MinFrame    = 64 // minimum frame (header + payload + CRC), padded
+
+	// FrameOverhead is header + CRC: bytes added to an IP datagram to form a
+	// frame.
+	FrameOverhead = HeaderLen + CRCLen
+	// WireOverhead is the total per-packet wire cost beyond the IP datagram:
+	// framing plus preamble plus inter-frame gap (the paper's "38 bytes").
+	WireOverhead = FrameOverhead + PreambleLen + IFGLen
+)
+
+// MTU values used in the paper's experiments.
+const (
+	MTUStandard = 1500  // standard Ethernet
+	MTUAlt8160  = 8160  // fits an 8 KB allocator block with headroom (§3.3)
+	MTUJumbo    = 9000  // conventional jumboframe
+	MTUMax10GbE = 16000 // largest MTU the Intel 10GbE adapter supports
+)
+
+// FrameBytes returns the frame length on the medium (header + payload + CRC,
+// padded to the 64-byte minimum) for an IP datagram of ipLen bytes.
+func FrameBytes(ipLen int) int {
+	if ipLen < 0 {
+		panic("ethernet: negative datagram length")
+	}
+	n := ipLen + FrameOverhead
+	if n < MinFrame {
+		n = MinFrame
+	}
+	return n
+}
+
+// WireBytes returns the full wire occupancy of a frame carrying an IP
+// datagram of ipLen bytes, including preamble and inter-frame gap. Dividing
+// line rate by this value gives the true packet rate of the medium.
+func WireBytes(ipLen int) int {
+	return FrameBytes(ipLen) + PreambleLen + IFGLen
+}
+
+// PayloadEfficiency returns the fraction of line rate available to IP
+// payload for frames carrying ipLen-byte datagrams.
+func PayloadEfficiency(ipLen int) float64 {
+	if ipLen <= 0 {
+		return 0
+	}
+	return float64(ipLen) / float64(WireBytes(ipLen))
+}
+
+// ValidMTU reports whether mtu is usable on a 10GbE link in this model:
+// at least the historical minimum of 68 and no more than the adapter
+// maximum of 16000.
+func ValidMTU(mtu int) bool {
+	return mtu >= 68 && mtu <= MTUMax10GbE
+}

@@ -1,0 +1,87 @@
+package ethernet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConstants(t *testing.T) {
+	if WireOverhead != 38 {
+		t.Errorf("WireOverhead = %d, want 38 (the paper's per-packet cost)", WireOverhead)
+	}
+	if FrameOverhead != 18 {
+		t.Errorf("FrameOverhead = %d, want 18", FrameOverhead)
+	}
+}
+
+func TestFrameBytes(t *testing.T) {
+	cases := []struct{ ip, want int }{
+		{1500, 1518},
+		{9000, 9018},
+		{46, 64},
+		{1, 64}, // padded to minimum
+		{0, 64},
+	}
+	for _, c := range cases {
+		if got := FrameBytes(c.ip); got != c.want {
+			t.Errorf("FrameBytes(%d) = %d, want %d", c.ip, got, c.want)
+		}
+	}
+}
+
+func TestFrameBytesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	FrameBytes(-1)
+}
+
+func TestWireBytes(t *testing.T) {
+	if got := WireBytes(1500); got != 1538 {
+		t.Errorf("WireBytes(1500) = %d, want 1538", got)
+	}
+	if got := WireBytes(1); got != 84 {
+		t.Errorf("WireBytes(1) = %d, want 84 (64 min frame + 20)", got)
+	}
+}
+
+func TestPayloadEfficiency(t *testing.T) {
+	// Standard MTU: 1500/1538 ~ 97.5%.
+	got := PayloadEfficiency(1500)
+	if got < 0.975 || got > 0.976 {
+		t.Errorf("eff(1500) = %v", got)
+	}
+	// Jumbo is better than standard; zero payload is zero.
+	if PayloadEfficiency(9000) <= got {
+		t.Error("jumbo should be more efficient than standard")
+	}
+	if PayloadEfficiency(0) != 0 {
+		t.Error("eff(0) != 0")
+	}
+}
+
+// Property: efficiency is monotone nondecreasing in datagram size and < 1.
+func TestEfficiencyMonotoneProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		n := int(raw)%16000 + 1
+		e1 := PayloadEfficiency(n)
+		e2 := PayloadEfficiency(n + 1)
+		return e1 < 1 && e2 >= e1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidMTU(t *testing.T) {
+	for _, mtu := range []int{MTUStandard, MTUAlt8160, MTUJumbo, MTUMax10GbE} {
+		if !ValidMTU(mtu) {
+			t.Errorf("MTU %d should be valid", mtu)
+		}
+	}
+	if ValidMTU(16001) || ValidMTU(67) || ValidMTU(0) {
+		t.Error("invalid MTU accepted")
+	}
+}

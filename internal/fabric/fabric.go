@@ -1,0 +1,139 @@
+// Package fabric provides the store-and-forward elements between hosts: the
+// Foundry FastIron 1500 class Ethernet switch of the paper's LAN/SAN tests
+// and the POS routers of its WAN path. Both are instances of Node — a
+// forwarding element with a shared backplane, fixed forwarding latency,
+// per-destination routing, and drop-tail output queues (the WAN bottleneck's
+// loss point).
+package fabric
+
+import (
+	"fmt"
+
+	"tengig/internal/ipv4"
+	"tengig/internal/packet"
+	"tengig/internal/phys"
+	"tengig/internal/sim"
+	"tengig/internal/units"
+)
+
+// Stats counts forwarding events.
+type Stats struct {
+	Forwarded int64
+	Dropped   int64 // output-queue overflows
+	NoRoute   int64
+}
+
+// Node is a store-and-forward switch or router.
+type Node struct {
+	eng       *sim.Engine
+	name      string
+	latency   units.Time
+	backplane *sim.Pipe // nil = unconstrained
+	ports     []*Port
+	fib       map[ipv4.Addr]int
+
+	// Stats is the node's counter block.
+	Stats Stats
+}
+
+// Port is one output port of a Node.
+type Port struct {
+	node     *Node
+	idx      int
+	out      *phys.Port
+	queueCap int64 // bytes; 0 = unlimited
+	queued   int64 // bytes currently queued or serializing
+	drops    int64
+}
+
+// Drops returns packets dropped at this port's queue.
+func (p *Port) Drops() int64 { return p.drops }
+
+// Queued returns the bytes currently held by the port.
+func (p *Port) Queued() int64 { return p.queued }
+
+// Out returns the underlying transmit port.
+func (p *Port) Out() *phys.Port { return p.out }
+
+// NewNode builds a forwarding element. latency is the fixed store-and-
+// forward fabric latency per packet; backplane (0 = unlimited) bounds
+// aggregate forwarding bandwidth.
+func NewNode(eng *sim.Engine, name string, latency units.Time, backplane units.Bandwidth) *Node {
+	if latency < 0 {
+		panic("fabric: negative latency")
+	}
+	n := &Node{eng: eng, name: name, latency: latency, fib: make(map[ipv4.Addr]int)}
+	if backplane > 0 {
+		n.backplane = sim.NewPipe(eng, name+"/backplane", backplane)
+	}
+	return n
+}
+
+// Name returns the node name.
+func (n *Node) Name() string { return n.name }
+
+// AddPort installs an output port transmitting through out, with a
+// drop-tail queue of queueCap bytes (0 = unlimited). Returns the port
+// index.
+func (n *Node) AddPort(out *phys.Port, queueCap units.ByteSize) int {
+	if queueCap < 0 {
+		panic("fabric: negative queue capacity")
+	}
+	idx := len(n.ports)
+	n.ports = append(n.ports, &Port{node: n, idx: idx, out: out, queueCap: int64(queueCap)})
+	return idx
+}
+
+// Port returns port i.
+func (n *Node) Port(i int) *Port { return n.ports[i] }
+
+// Route directs traffic for dst out of port i.
+func (n *Node) Route(dst ipv4.Addr, port int) {
+	if port < 0 || port >= len(n.ports) {
+		panic(fmt.Sprintf("fabric %s: route to invalid port %d", n.name, port))
+	}
+	n.fib[dst] = port
+}
+
+// In returns the receiver for traffic arriving at the node (all input
+// ports share the forwarding path; input contention is modeled by the
+// backplane).
+func (n *Node) In() phys.Receiver { return nodeIn{n} }
+
+type nodeIn struct{ n *Node }
+
+func (in nodeIn) Receive(pk *packet.Packet) { in.n.forward(pk) }
+
+// forward looks up the output port and moves the packet across the
+// backplane, through the forwarding latency, into the output queue.
+func (n *Node) forward(pk *packet.Packet) {
+	pidx, ok := n.fib[pk.Dst]
+	if !ok {
+		n.Stats.NoRoute++
+		return
+	}
+	pk.Hops++
+	deliver := func() { n.enqueue(n.ports[pidx], pk) }
+	step := func() { n.eng.After(n.latency, deliver) }
+	if n.backplane != nil {
+		n.backplane.Send(pk.IPLen(), step)
+	} else {
+		step()
+	}
+}
+
+// enqueue applies drop-tail queueing at the output port.
+func (n *Node) enqueue(p *Port, pk *packet.Packet) {
+	size := int64(pk.IPLen())
+	if p.queueCap > 0 && p.queued+size > p.queueCap {
+		p.drops++
+		n.Stats.Dropped++
+		return
+	}
+	p.queued += size
+	n.Stats.Forwarded++
+	p.out.Send(pk)
+	// The queue drains when the port finishes serializing this packet;
+	// Busy() reflects the backlog, so schedule the release at that point.
+	n.eng.After(p.out.Busy(), func() { p.queued -= size })
+}

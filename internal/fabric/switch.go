@@ -1,0 +1,41 @@
+package fabric
+
+import (
+	"tengig/internal/phys"
+	"tengig/internal/sim"
+	"tengig/internal/units"
+)
+
+// FastIron builds the paper's Foundry FastIron 1500 class chassis switch:
+// store-and-forward Ethernet with multi-microsecond fabric latency (the
+// observed back-to-back vs through-switch delta is ~6 us) and a backplane
+// far exceeding any port group in these tests.
+func FastIron(eng *sim.Engine, name string) *Node {
+	return NewNode(eng, name, 5800*units.Nanosecond, 480*units.GbitPerSecond)
+}
+
+// Attachment links a device (a host NIC adapter, which implements
+// phys.Receiver) to a switch port.
+type Attachment struct {
+	// ToDevice is the switch's transmit port toward the device.
+	ToDevice *phys.Port
+	// ToSwitch is the device's transmit port toward the switch.
+	ToSwitch *phys.Port
+	// PortIdx is the switch port index.
+	PortIdx int
+}
+
+// AttachDevice wires a device to the switch with a full-duplex Ethernet
+// link at rate and one-way propagation prop. The device's transmit port
+// (Attachment.ToSwitch) must be attached to its NIC; traffic for addresses
+// routed to this port leaves through ToDevice. queueCap bounds the output
+// queue toward the device.
+func AttachDevice(eng *sim.Engine, n *Node, dev phys.Receiver, linkName string,
+	rate units.Bandwidth, prop units.Time, queueCap units.ByteSize) Attachment {
+	link := phys.NewLink(eng, linkName, rate, prop, phys.EthernetFraming{})
+	// Device sends a->b into the switch; switch sends b->a to the device.
+	link.AtoB.SetDst(n.In())
+	link.BtoA.SetDst(dev)
+	idx := n.AddPort(link.BtoA, queueCap)
+	return Attachment{ToDevice: link.BtoA, ToSwitch: link.AtoB, PortIdx: idx}
+}

@@ -1,0 +1,132 @@
+// Package host models a Linux end host of the paper's era: CPUs, the
+// kernel's transmit and receive paths with their per-packet costs, SMP vs
+// uniprocessor interrupt handling, the qdisc transmit queue, socket copy
+// costs through the memory subsystem, and the demultiplexing of packets to
+// TCP connections. It is the glue between the tcp protocol package and the
+// nic/pci/mem hardware substrates, and the place where every optimization
+// rung of §3.3 is expressed as a configuration change.
+package host
+
+import (
+	"fmt"
+
+	"tengig/internal/ipv4"
+	"tengig/internal/mem"
+	"tengig/internal/pci"
+	"tengig/internal/units"
+)
+
+// KernelConfig selects kernel-level behaviors.
+type KernelConfig struct {
+	// Uniprocessor runs a UP kernel: one CPU does everything, but without
+	// SMP locking and cache-migration overheads (§3.3's counterintuitive
+	// optimization). When false, interrupts are pinned to CPU0 (as the P4
+	// Xeon SMP architecture of the paper does) while process context runs
+	// on CPU1.
+	Uniprocessor bool
+	// NAPI enables the "New API" receive path: packet processing moves out
+	// of interrupt context with cheaper per-packet cost (§3.3's discussion
+	// of newer kernels; an ablation in this repository).
+	NAPI bool
+	// IRQRoundRobin distributes interrupts across all CPUs instead of
+	// pinning them to CPU0 — the behavior the paper notes the P4 Xeon SMP
+	// kernel does NOT have ("assigns each interrupt to a single CPU instead
+	// of processing them in a round-robin manner"). Spreading the IRQ load
+	// buys parallelism but pays a cache-migration penalty per batch.
+	IRQRoundRobin bool
+	// Timestamps enables TCP timestamps (also reduces per-segment payload).
+	Timestamps bool
+	// TxQueueLen is the qdisc depth in packets (ifconfig txqueuelen).
+	TxQueueLen int
+}
+
+// CostConfig calibrates the host's per-event CPU costs. All values are for
+// the UP kernel; SMP multiplies kernel costs by SMPFactor and adds
+// SMPBounce per data segment that crosses CPUs.
+type CostConfig struct {
+	// Syscall is the entry/exit cost of a read/write call.
+	Syscall units.Time
+	// TCPTxSegment is the transmit-side TCP/IP+driver cost per segment.
+	TCPTxSegment units.Time
+	// TCPRxSegment is the receive-side TCP/IP cost per data segment
+	// (the receive path is the more complex one).
+	TCPRxSegment units.Time
+	// AckRx is the cost of processing a received pure ack.
+	AckRx units.Time
+	// AckTx is the cost of generating a pure ack.
+	AckTx units.Time
+	// IRQEntry is the fixed cost per interrupt.
+	IRQEntry units.Time
+	// IRQPerPacket is the old-API per-packet cost inside interrupt context;
+	// NAPI replaces it with NAPIPerPacket outside the IRQ.
+	IRQPerPacket units.Time
+	// NAPIPerPacket is the per-packet receive cost under NAPI.
+	NAPIPerPacket units.Time
+	// Timestamp is the extra per-segment cost of TCP timestamps.
+	Timestamp units.Time
+	// AllocBase and AllocPerOrder calibrate buffer allocation (see alloc).
+	AllocBase, AllocPerOrder units.Time
+	// ReadWakeup is the scheduler cost of waking a blocked reader.
+	ReadWakeup units.Time
+	// SMPFactor multiplies kernel per-packet costs under SMP (locking).
+	SMPFactor float64
+	// SMPBounce is the cache-migration cost per data segment under SMP
+	// (the skb moves between the IRQ CPU and the application CPU).
+	SMPBounce units.Time
+	// ChecksumBW is the software-checksum rate used when the NIC does not
+	// offload checksums.
+	ChecksumBW units.Bandwidth
+}
+
+// Validate checks the cost table.
+func (c CostConfig) Validate() error {
+	if c.Syscall < 0 || c.TCPTxSegment < 0 || c.TCPRxSegment < 0 ||
+		c.AckRx < 0 || c.AckTx < 0 || c.IRQEntry < 0 || c.IRQPerPacket < 0 ||
+		c.NAPIPerPacket < 0 || c.Timestamp < 0 || c.AllocBase < 0 ||
+		c.AllocPerOrder < 0 || c.ReadWakeup < 0 || c.SMPBounce < 0 {
+		return fmt.Errorf("host: negative cost in %+v", c)
+	}
+	if c.SMPFactor < 1 {
+		return fmt.Errorf("host: SMPFactor %v < 1", c.SMPFactor)
+	}
+	if c.ChecksumBW <= 0 {
+		return fmt.Errorf("host: non-positive checksum bandwidth")
+	}
+	return nil
+}
+
+// Config describes a host.
+type Config struct {
+	// Name for diagnostics.
+	Name string
+	// Addr is the host's IP address.
+	Addr ipv4.Addr
+	// CPUs is the processor count (2 for the paper's Dell servers).
+	CPUs int
+	// Kernel selects kernel behaviors; Costs calibrates CPU costs.
+	Kernel KernelConfig
+	Costs  CostConfig
+	// Mem describes the memory subsystem; PCI the (per-NIC) bus.
+	Mem mem.Config
+	PCI pci.Config
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("host: empty name")
+	}
+	if c.CPUs < 1 {
+		return fmt.Errorf("host %s: %d CPUs", c.Name, c.CPUs)
+	}
+	if c.Kernel.TxQueueLen < 1 {
+		return fmt.Errorf("host %s: txqueuelen %d", c.Name, c.Kernel.TxQueueLen)
+	}
+	if err := c.Costs.Validate(); err != nil {
+		return err
+	}
+	if err := c.Mem.Validate(); err != nil {
+		return err
+	}
+	return c.PCI.Validate()
+}

@@ -1,0 +1,77 @@
+package host
+
+import (
+	"testing"
+
+	"tengig/internal/nic"
+	"tengig/internal/phys"
+	"tengig/internal/sim"
+	"tengig/internal/units"
+)
+
+// Two concurrent flows between the same host pair share the path and the
+// hosts' resources roughly fairly, and neither starves.
+func TestTwoFlowsShareFairly(t *testing.T) {
+	eng := sim.NewEngine(7)
+	a := New(eng, testHostCfg("a", 1, true))
+	b := New(eng, testHostCfg("b", 2, true))
+	a.AddNIC(nic.TenGbE(9000))
+	b.AddNIC(nic.TenGbE(9000))
+	link := phys.NewLink(eng, "b2b", 10*units.GbitPerSecond, 50*units.Nanosecond, phys.EthernetFraming{})
+	link.Connect(a.NIC(0).Adapter, b.NIC(0).Adapter)
+	a.NIC(0).Adapter.AttachPort(link.AtoB)
+	b.NIC(0).Adapter.AttachPort(link.BtoA)
+
+	cfg := tcpCfg(256 * 1024)
+	var socks [2][2]*Socket
+	for f := uint32(1); f <= 2; f++ {
+		sa := a.OpenSocket(f, b.Addr(), cfg, 0)
+		sb := b.OpenSocket(f, a.Addr(), cfg, 0)
+		sb.Listen()
+		sa.Connect()
+		socks[f-1][0], socks[f-1][1] = sa, sb
+	}
+	eng.RunUntil(eng.Now() + units.Millisecond)
+
+	var got [2]int64
+	for i := 0; i < 2; i++ {
+		i := i
+		socks[i][1].SetAutoRead(func(n int64) { got[i] += n })
+		socks[i][0].Send(1<<40, 16384, false, nil)
+	}
+	eng.RunUntil(eng.Now() + 200*units.Millisecond)
+
+	total := got[0] + got[1]
+	if total == 0 {
+		t.Fatal("no data moved")
+	}
+	agg := units.Throughput(total, 200*units.Millisecond).Gbps()
+	// Aggregate lands in the host's usual ballpark.
+	if agg < 2.0 || agg > 6.0 {
+		t.Errorf("aggregate = %.2f Gb/s", agg)
+	}
+	// Fairness: neither flow gets less than a quarter of the other.
+	ratio := float64(got[0]) / float64(got[1])
+	if ratio < 0.25 || ratio > 4.0 {
+		t.Errorf("unfair split: %d vs %d (ratio %.2f)", got[0], got[1], ratio)
+	}
+}
+
+// A bidirectional pair: simultaneous full-rate transfers in both directions
+// complete without deadlock, each above half the unidirectional rate is not
+// required (resources are shared) but both must make real progress.
+func TestBidirectionalSimultaneousTransfers(t *testing.T) {
+	tb := newTestbed(t, 9000, true)
+	sa, sb := tb.sockets(t, tcpCfg(256*1024))
+	var aGot, bGot int64
+	sa.SetAutoRead(func(n int64) { aGot += n })
+	sb.SetAutoRead(func(n int64) { bGot += n })
+	sa.Send(1<<40, 16384, false, nil)
+	sb.Send(1<<40, 16384, false, nil)
+	tb.eng.RunUntil(tb.eng.Now() + 100*units.Millisecond)
+	ra := units.Throughput(bGot, 100*units.Millisecond).Gbps()
+	rb := units.Throughput(aGot, 100*units.Millisecond).Gbps()
+	if ra < 1.0 || rb < 1.0 {
+		t.Errorf("bidirectional rates %.2f / %.2f Gb/s: a direction starved", ra, rb)
+	}
+}

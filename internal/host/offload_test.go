@@ -1,0 +1,139 @@
+package host
+
+import (
+	"testing"
+
+	"tengig/internal/nic"
+	"tengig/internal/phys"
+	"tengig/internal/sim"
+	"tengig/internal/tcp"
+	"tengig/internal/units"
+)
+
+// Offload feature tests: TSO and NAPI, the §3.3 "newer kernels" features.
+
+func tsoTestbed(t *testing.T, tso bool) *testbed {
+	t.Helper()
+	eng := sim.NewEngine(7)
+	a := New(eng, testHostCfg("a", 1, true))
+	b := New(eng, testHostCfg("b", 2, true))
+	ncfg := nic.TenGbE(9000)
+	ncfg.TSO = tso
+	a.AddNIC(ncfg)
+	b.AddNIC(nic.TenGbE(9000))
+	link := phys.NewLink(eng, "b2b", 10*units.GbitPerSecond, 50*units.Nanosecond, phys.EthernetFraming{})
+	link.Connect(a.NIC(0).Adapter, b.NIC(0).Adapter)
+	a.NIC(0).Adapter.AttachPort(link.AtoB)
+	b.NIC(0).Adapter.AttachPort(link.BtoA)
+	return &testbed{eng: eng, a: a, b: b}
+}
+
+func TestTSOTransfersCorrectly(t *testing.T) {
+	tb := tsoTestbed(t, true)
+	sa, sb := tb.sockets(t, tcpCfg(512*1024))
+	var received int64
+	sb.SetAutoRead(func(n int64) { received += n })
+	const total = 8 << 20
+	sa.Send(total, 65536, true, nil)
+	tb.eng.RunUntil(tb.eng.Now() + 2*units.Second)
+	if received != total {
+		t.Fatalf("received %d of %d", received, total)
+	}
+	// TCP saw a 64 KB virtual MTU: far fewer "segments" than wire packets.
+	segs := sa.Conn.Stats.DataSegsOut
+	wire := tb.a.NIC(0).Adapter.Stats.TxPackets
+	if segs >= wire {
+		t.Errorf("TSO: %d TCP segments vs %d wire packets — expected big fan-out", segs, wire)
+	}
+	if wire < 900 { // ~8MB / 8948
+		t.Errorf("wire packets = %d, want ~940", wire)
+	}
+}
+
+func TestTSOReducesSenderCPUPerByte(t *testing.T) {
+	// §3.3: "the implementation of TSO should reduce the CPU load on
+	// transmitting systems". A saturated sender shows it as less CPU time
+	// per byte moved (the wall-clock load stays pegged either way).
+	perByte := func(tso bool) float64 {
+		tb := tsoTestbed(t, tso)
+		sa, sb := tb.sockets(t, tcpCfg(512*1024))
+		var received int64
+		sb.SetAutoRead(func(n int64) { received += n })
+		const total = 8 << 20
+		sa.Send(total, 65536, true, nil)
+		tb.eng.RunUntil(tb.eng.Now() + 2*units.Second)
+		if received != total {
+			t.Fatalf("tso=%v: received %d", tso, received)
+		}
+		return tb.a.TotalBusy().Seconds() / float64(total)
+	}
+	with := perByte(true)
+	without := perByte(false)
+	if with >= without {
+		t.Errorf("TSO CPU/byte (%.3g) should be below non-TSO (%.3g)", with, without)
+	}
+}
+
+func TestNAPIReducesReceiverLoad(t *testing.T) {
+	load := func(napi bool) float64 {
+		eng := sim.NewEngine(7)
+		cfgB := testHostCfg("b", 2, true)
+		cfgB.Kernel.NAPI = napi
+		a := New(eng, testHostCfg("a", 1, true))
+		b := New(eng, cfgB)
+		a.AddNIC(nic.TenGbE(1500))
+		b.AddNIC(nic.TenGbE(1500))
+		link := phys.NewLink(eng, "b2b", 10*units.GbitPerSecond, 50*units.Nanosecond, phys.EthernetFraming{})
+		link.Connect(a.NIC(0).Adapter, b.NIC(0).Adapter)
+		a.NIC(0).Adapter.AttachPort(link.AtoB)
+		b.NIC(0).Adapter.AttachPort(link.BtoA)
+		tb := &testbed{eng: eng, a: a, b: b}
+		sa, sb := tb.sockets(t, tcpCfg(256*1024))
+		var received int64
+		var doneAt units.Time
+		sb.SetAutoRead(func(n int64) { received += n })
+		start := eng.Now()
+		const total = 4 << 20
+		sa.Send(total, 16384, true, func() { doneAt = eng.Now() })
+		eng.RunUntil(eng.Now() + 2*units.Second)
+		if received != total {
+			t.Fatalf("napi=%v: received %d", napi, received)
+		}
+		return b.TotalBusy().Seconds() / (doneAt - start).Seconds()
+	}
+	with := load(true)
+	without := load(false)
+	if with >= without {
+		t.Errorf("NAPI receiver load (%.2f) should be below old-API (%.2f)", with, without)
+	}
+}
+
+func TestSplitSegmentCoversExactly(t *testing.T) {
+	seg := &tcp.Segment{Seq: 1000, Len: 20000, Ack: 5, Wnd: 100, FIN: true}
+	pieces := splitSegment(seg, 8948)
+	var total int
+	next := seg.Seq
+	for i, p := range pieces {
+		if p.Seq != next {
+			t.Fatalf("piece %d seq %d, want %d", i, p.Seq, next)
+		}
+		if p.Len > 8948 || p.Len <= 0 {
+			t.Fatalf("piece %d len %d", i, p.Len)
+		}
+		if p.FIN != (i == len(pieces)-1) {
+			t.Fatalf("FIN on wrong piece %d", i)
+		}
+		if p.Ack != seg.Ack || p.Wnd != seg.Wnd {
+			t.Fatalf("piece %d lost ack/window", i)
+		}
+		total += p.Len
+		next += int64(p.Len)
+	}
+	if total != seg.Len {
+		t.Fatalf("pieces cover %d of %d", total, seg.Len)
+	}
+	// Identity case.
+	if got := splitSegment(seg, 30000); len(got) != 1 || got[0] != seg {
+		t.Error("in-MTU segment should pass through unchanged")
+	}
+}

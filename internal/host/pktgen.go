@@ -1,0 +1,75 @@
+package host
+
+import (
+	"tengig/internal/ipv4"
+	"tengig/internal/packet"
+	"tengig/internal/units"
+)
+
+// pktgenWindow bounds outstanding pktgen packets (the driver ring share the
+// generator keeps filled).
+const pktgenWindow = 64
+
+// pktgenPerPacket is the kernel-loop cost per generated packet. The
+// generator transmits pre-formed dummy UDP packets directly to the adapter
+// (§3.5.2: "it is single-copy"), so the only CPU work is the loop itself
+// and the doorbell write.
+const pktgenPerPacket = 150 * units.Nanosecond
+
+// PktgenResult reports a generator run.
+type PktgenResult struct {
+	Sent    int64
+	Elapsed units.Time
+}
+
+// PayloadRate returns the achieved IP-payload bandwidth.
+func (r PktgenResult) PayloadRate(ipLen int) units.Bandwidth {
+	return units.Throughput(r.Sent*int64(ipLen), r.Elapsed)
+}
+
+// Pktgen runs the Linux kernel packet generator: count UDP datagrams of
+// ipLen bytes (IP length) blasted at the adapter in a closed loop,
+// bypassing the TCP/IP stack and the socket copy entirely. done receives
+// the result when the last packet has left host memory.
+func (h *Host) Pktgen(nicIdx int, count int64, ipLen int, dst ipv4.Addr, done func(PktgenResult)) {
+	if count <= 0 || ipLen < 28 {
+		panic("host: invalid pktgen parameters")
+	}
+	np := h.nics[nicIdx]
+	if ipLen > np.Adapter.Config().MTU {
+		panic("host: pktgen packet exceeds MTU")
+	}
+	cpu := h.appCPU()
+	start := h.eng.Now()
+	var sent, completed int64
+	inFlight := 0
+	var kick func()
+	kick = func() {
+		for sent < count && inFlight < pktgenWindow {
+			inFlight++
+			sent++
+			cpu.Submit(h.kcost(pktgenPerPacket), nil)
+			pk := &packet.Packet{
+				ID:       h.ids.Next(),
+				Src:      h.cfg.Addr,
+				Dst:      dst,
+				Proto:    packet.ProtoUDP,
+				Payload:  ipLen - 28, // IP + UDP headers
+				L4Header: 8,
+			}
+			doneAt := np.Adapter.Transmit(pk)
+			h.eng.Schedule(doneAt, func() {
+				inFlight--
+				completed++
+				if completed == count {
+					if done != nil {
+						done(PktgenResult{Sent: sent, Elapsed: h.eng.Now() - start})
+					}
+					return
+				}
+				kick()
+			})
+		}
+	}
+	kick()
+}

@@ -1,0 +1,78 @@
+package host
+
+import (
+	"math/rand"
+	"testing"
+
+	"tengig/internal/nic"
+	"tengig/internal/phys"
+	"tengig/internal/sim"
+	"tengig/internal/units"
+)
+
+// Property: across randomized configurations (MTU, buffers, kernel flavor,
+// chunk sizes), an end-to-end transfer delivers every byte exactly once and
+// conserves packet counts between NICs.
+func TestTransferConservationProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long property test")
+	}
+	rng := rand.New(rand.NewSource(99))
+	mtus := []int{1500, 4000, 8160, 9000, 16000}
+	for trial := 0; trial < 12; trial++ {
+		mtu := mtus[rng.Intn(len(mtus))]
+		up := rng.Intn(2) == 0
+		buf := 64*1024 + rng.Intn(512*1024)
+		chunk := 512 + rng.Intn(64*1024)
+		total := int64(256*1024 + rng.Intn(4<<20))
+
+		eng := sim.NewEngine(int64(trial) + 1)
+		a := New(eng, testHostCfg("a", 1, up))
+		b := New(eng, testHostCfg("b", 2, up))
+		a.AddNIC(nic.TenGbE(mtu))
+		b.AddNIC(nic.TenGbE(mtu))
+		link := phys.NewLink(eng, "b2b", 10*units.GbitPerSecond, 50*units.Nanosecond, phys.EthernetFraming{})
+		link.Connect(a.NIC(0).Adapter, b.NIC(0).Adapter)
+		a.NIC(0).Adapter.AttachPort(link.AtoB)
+		b.NIC(0).Adapter.AttachPort(link.BtoA)
+		cfg := tcpCfg(buf)
+		sa := a.OpenSocket(1, b.Addr(), cfg, 0)
+		sb := b.OpenSocket(1, a.Addr(), cfg, 0)
+		sb.Listen()
+		sa.Connect()
+		eng.RunUntil(eng.Now() + units.Millisecond)
+
+		var received int64
+		sb.SetAutoRead(func(n int64) { received += n })
+		sa.Send(total, chunk, true, nil)
+		eng.RunUntil(eng.Now() + 30*units.Second)
+
+		if received != total {
+			t.Fatalf("trial %d (mtu=%d up=%v buf=%d chunk=%d): received %d of %d",
+				trial, mtu, up, buf, chunk, received, total)
+		}
+		if !sb.Conn.EOF() {
+			t.Fatalf("trial %d: no EOF", trial)
+		}
+		// Packet conservation on a lossless link: everything a transmitted,
+		// b received (and vice versa for acks).
+		if a.NIC(0).Adapter.Stats.TxPackets != b.NIC(0).Adapter.Stats.RxPackets {
+			t.Fatalf("trial %d: a tx %d != b rx %d", trial,
+				a.NIC(0).Adapter.Stats.TxPackets, b.NIC(0).Adapter.Stats.RxPackets)
+		}
+		if b.NIC(0).Adapter.Stats.TxPackets != a.NIC(0).Adapter.Stats.RxPackets {
+			t.Fatalf("trial %d: b tx %d != a rx %d", trial,
+				b.NIC(0).Adapter.Stats.TxPackets, a.NIC(0).Adapter.Stats.RxPackets)
+		}
+		// No retransmissions on a clean path.
+		if sa.Conn.Stats.Retransmits != 0 {
+			t.Fatalf("trial %d: %d retransmits on clean path", trial, sa.Conn.Stats.Retransmits)
+		}
+		// Payload byte conservation at the NIC level: IP bytes transmitted
+		// cover payload + headers, never less than the payload.
+		if a.NIC(0).Adapter.Stats.TxBytes < total {
+			t.Fatalf("trial %d: tx IP bytes %d < payload %d", trial,
+				a.NIC(0).Adapter.Stats.TxBytes, total)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package host
+
+import (
+	"fmt"
+
+	"tengig/internal/ipv4"
+	"tengig/internal/tcp"
+)
+
+// Socket wraps a tcp.Conn with the host's application-side behavior: write
+// calls that charge syscall and copy costs before bytes enter the send
+// buffer, and an auto-reading consumer that drains the receive queue at
+// realistic copy cost (opening the advertised window only when the copy
+// completes — which is what keeps receive buffers occupied and windows
+// tight on slow hosts).
+type Socket struct {
+	h      *Host
+	flow   uint32
+	remote ipv4.Addr
+	nicIdx int
+	Conn   *tcp.Conn
+
+	// Write pump state.
+	sendLeft       int64 // bytes not yet accepted into the socket
+	chunk          int   // application write() size (NTTCP's payload parameter)
+	curWrite       int   // bytes remaining in the in-progress write() call
+	writing        bool  // a copy is charging on the CPU
+	closeAfterSend bool
+	onSendDone     func()
+
+	// Read pump state.
+	autoRead  bool
+	reading   bool
+	onData    func(n int64)
+	TotalRead int64
+
+	// rxBacklog is the truesize of packets queued for receive processing
+	// (IRQ CPU backlog) — charged against the receive buffer like Linux's
+	// sk_backlog, so a host that cannot keep up shrinks its window.
+	rxBacklog int64
+}
+
+// OpenSocket creates a TCP endpoint on this host. flow identifies the
+// connection (both ends must use the same flow id); remote is the peer
+// address; nicIdx selects the outgoing adapter. The TCP config's MTU is
+// forced to the adapter's MTU; a TSO adapter additionally gives the stack a
+// 64 KB send chunk and the host splits super-segments at transmit.
+func (h *Host) OpenSocket(flow uint32, remote ipv4.Addr, cfg tcp.Config, nicIdx int) *Socket {
+	if _, dup := h.socks[flow]; dup {
+		panic(fmt.Sprintf("host %s: duplicate flow %d", h.cfg.Name, flow))
+	}
+	ad := h.nics[nicIdx].Adapter
+	cfg.MTU = ad.Config().MTU
+	if ad.Config().TSO {
+		// TSO's 64 KB virtual MTU: the stack emits super-segments and the
+		// adapter re-segments them to the wire MSS (§3.3 "Large Send").
+		cfg.SendChunk = 64 * 1024
+	}
+	cfg.Timestamps = h.cfg.Kernel.Timestamps
+	cfg.Local = h.cfg.Addr
+	s := &Socket{h: h, flow: flow, remote: remote, nicIdx: nicIdx}
+	cfg.BacklogFn = func() int64 { return s.rxBacklog }
+	s.Conn = tcp.New(tcp.NewEnv(h.eng), fmt.Sprintf("%s/flow%d", h.cfg.Name, flow), cfg,
+		func(seg *tcp.Segment) { h.output(s, seg) })
+	s.Conn.SetWritable(func() { s.pumpWrite() })
+	s.Conn.SetReadable(func() { s.pumpRead() })
+	h.socks[flow] = s
+	return s
+}
+
+// Flow returns the socket's flow id.
+func (s *Socket) Flow() uint32 { return s.flow }
+
+// Connect starts the active side of the handshake.
+func (s *Socket) Connect() { s.Conn.Connect() }
+
+// Listen starts the passive side.
+func (s *Socket) Listen() { s.Conn.Listen() }
+
+// Send writes total bytes in chunk-sized application writes (the NTTCP
+// pattern), charging one syscall per write call and copy costs per byte.
+// done (may be nil) fires when the final byte is accepted by the socket;
+// if closeAfter is set the connection is closed then.
+func (s *Socket) Send(total int64, chunk int, closeAfter bool, done func()) {
+	if total < 0 || chunk <= 0 {
+		panic("host: invalid Send parameters")
+	}
+	if s.sendLeft > 0 {
+		panic("host: Send while a send is in progress")
+	}
+	s.sendLeft = total
+	s.chunk = chunk
+	s.closeAfterSend = closeAfter
+	s.onSendDone = done
+	s.pumpWrite()
+}
+
+// pumpWrite advances the write pump: start the next write() call if idle,
+// and copy as much of the current call as the send buffer admits.
+func (s *Socket) pumpWrite() {
+	if s.writing {
+		return
+	}
+	if s.curWrite == 0 {
+		if s.sendLeft == 0 {
+			return
+		}
+		s.curWrite = s.chunk
+		if int64(s.curWrite) > s.sendLeft {
+			s.curWrite = int(s.sendLeft)
+		}
+	}
+	free := s.Conn.SndBufFree()
+	if free <= 0 {
+		return // writable callback will resume
+	}
+	n := s.curWrite
+	if int64(n) > free {
+		n = int(free)
+	}
+	s.writing = true
+	cpu := s.h.appCPUFor(s.flow)
+	start := s.h.eng.Now()
+	if f := cpu.FreeAt(); f > start {
+		start = f
+	}
+	cost := s.h.cfg.Costs.Syscall + s.h.memsys.CopyStall(n, start)
+	cpu.Submit(cost, func() {
+		s.writing = false
+		accepted := s.Conn.Write(n)
+		if accepted != n {
+			panic("host: socket rejected a pre-checked write")
+		}
+		s.curWrite -= n
+		s.sendLeft -= int64(n)
+		if s.sendLeft == 0 && s.curWrite == 0 {
+			if s.closeAfterSend {
+				s.Conn.Close()
+			}
+			if s.onSendDone != nil {
+				done := s.onSendDone
+				s.onSendDone = nil
+				done()
+			}
+			return
+		}
+		s.pumpWrite()
+	})
+}
+
+// SetAutoRead installs a consumer: received data is drained as fast as the
+// application CPU can copy it out, invoking onData with each batch size.
+func (s *Socket) SetAutoRead(onData func(n int64)) {
+	s.autoRead = true
+	s.onData = onData
+	s.pumpRead()
+}
+
+// pumpRead drains available receive data through a charged copy. The
+// receive-queue space is released up front — tcp_recvmsg frees each skb as
+// it is copied out, so the window reopens during the syscall, not after it.
+func (s *Socket) pumpRead() {
+	if !s.autoRead || s.reading {
+		return
+	}
+	avail := s.Conn.Available()
+	if avail <= 0 {
+		return
+	}
+	s.reading = true
+	got := s.Conn.Read(avail)
+	cpu := s.h.appCPUFor(s.flow)
+	start := s.h.eng.Now()
+	if f := cpu.FreeAt(); f > start {
+		start = f
+	}
+	c := s.h.cfg.Costs
+	cost := c.Syscall + c.ReadWakeup + s.h.memsys.CopyStall(int(got), start)
+	cpu.Submit(cost, func() {
+		s.reading = false
+		s.TotalRead += got
+		if s.onData != nil && got > 0 {
+			s.onData(got)
+		}
+		s.pumpRead()
+	})
+}

@@ -1,0 +1,34 @@
+// Package ipv4 provides the minimal IPv4 model the simulator needs:
+// addresses and header accounting. There is no options support; every
+// datagram carries the fixed 20-byte header, as in the paper's experiments.
+package ipv4
+
+import "fmt"
+
+// HeaderLen is the length of an IPv4 header without options.
+const HeaderLen = 20
+
+// Addr is an IPv4 address.
+type Addr uint32
+
+// AddrFrom assembles an address from its dotted-quad octets.
+func AddrFrom(a, b, c, d byte) Addr {
+	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// String renders the address in dotted-quad form.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// Unspecified reports whether the address is the zero address.
+func (a Addr) Unspecified() bool { return a == 0 }
+
+// HostN returns a convenient unique unicast address for host n in the
+// simulated 10.0.0.0/8 test network.
+func HostN(n int) Addr {
+	if n < 0 || n > 0xFFFF {
+		panic("ipv4: HostN out of range")
+	}
+	return AddrFrom(10, 0, byte(n>>8), byte(n))
+}

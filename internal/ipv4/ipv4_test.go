@@ -1,0 +1,67 @@
+package ipv4
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrString(t *testing.T) {
+	a := AddrFrom(192, 168, 1, 42)
+	if got := a.String(); got != "192.168.1.42" {
+		t.Errorf("String() = %q", got)
+	}
+	if Addr(0).String() != "0.0.0.0" {
+		t.Error("zero addr format")
+	}
+}
+
+func TestUnspecified(t *testing.T) {
+	if !Addr(0).Unspecified() {
+		t.Error("zero should be unspecified")
+	}
+	if AddrFrom(10, 0, 0, 1).Unspecified() {
+		t.Error("10.0.0.1 should be specified")
+	}
+}
+
+func TestHostN(t *testing.T) {
+	if got := HostN(1).String(); got != "10.0.0.1" {
+		t.Errorf("HostN(1) = %q", got)
+	}
+	if got := HostN(258).String(); got != "10.0.1.2" {
+		t.Errorf("HostN(258) = %q", got)
+	}
+}
+
+func TestHostNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	HostN(-1)
+}
+
+// Property: HostN is injective over its domain.
+func TestHostNInjectiveProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		if a == b {
+			return true
+		}
+		return HostN(int(a)) != HostN(int(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AddrFrom round-trips through String parsing by octet extraction.
+func TestAddrOctetsProperty(t *testing.T) {
+	f := func(a, b, c, d byte) bool {
+		addr := AddrFrom(a, b, c, d)
+		return byte(addr>>24) == a && byte(addr>>16) == b && byte(addr>>8) == c && byte(addr) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

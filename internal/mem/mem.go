@@ -1,0 +1,144 @@
+// Package mem models the host memory subsystem: the shared memory bus that
+// every byte of network traffic crosses (multiple times), the CPU's
+// FSB-limited copy rate, and the chipset DMA engine with its per-burst read
+// latency.
+//
+// The accounting follows the paper's §3.5.2 analysis: the normal IP stack
+// moves each payload byte across the memory bus three times on a host (two
+// for the CPU copy between user and kernel buffers — a read and a write —
+// plus one for the adapter DMA), while the kernel packet generator is
+// "single-copy" (DMA only). The chipset DMA read path has its own sustained
+// ceiling and per-burst setup cost; on the ServerWorks GC-LE this — not the
+// raw PCI-X clock — is what caps pktgen at 5.5 Gb/s and makes the MMRBC
+// register matter so much.
+package mem
+
+import (
+	"fmt"
+
+	"tengig/internal/sim"
+	"tengig/internal/units"
+)
+
+// Config describes a host memory system. All constants are per-host
+// calibration targets documented in DESIGN.md §3/§5.
+type Config struct {
+	// BusBW is the sustained memory-bus bandwidth available to the sum of
+	// all traffic (copies count twice, DMA once).
+	BusBW units.Bandwidth
+	// CPUCopyBW is the payload rate of a single in-kernel CPU copy
+	// (copy_to_user/copy_from_user), limited by the front-side bus.
+	CPUCopyBW units.Bandwidth
+	// StreamBW is the bandwidth the STREAM benchmark reports on this host
+	// (a measured quantity, counting both the read and write streams).
+	StreamBW units.Bandwidth
+	// DMAReadSetup is the chipset's per-burst setup latency for DMA reads
+	// (memory read round trip seen by the adapter).
+	DMAReadSetup units.Time
+	// DMAReadBW is the chipset's sustained DMA read streaming rate.
+	DMAReadBW units.Bandwidth
+	// DMAWriteSetup is the per-burst setup cost for (posted) DMA writes.
+	DMAWriteSetup units.Time
+	// DMAWriteBW is the chipset's sustained DMA write rate.
+	DMAWriteBW units.Bandwidth
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.BusBW <= 0 || c.CPUCopyBW <= 0 || c.StreamBW <= 0 ||
+		c.DMAReadBW <= 0 || c.DMAWriteBW <= 0 {
+		return fmt.Errorf("mem: non-positive bandwidth in %+v", c)
+	}
+	if c.DMAReadSetup < 0 || c.DMAWriteSetup < 0 {
+		return fmt.Errorf("mem: negative DMA setup")
+	}
+	return nil
+}
+
+// System is a host's memory subsystem instance.
+type System struct {
+	cfg Config
+	bus *sim.Pipe
+
+	copyBytes int64
+	dmaBytes  int64
+}
+
+// NewSystem returns a memory system bound to the engine. Panics on invalid
+// config.
+func NewSystem(eng *sim.Engine, name string, cfg Config) *System {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
+	return &System{cfg: cfg, bus: sim.NewPipe(eng, name+"/membus", cfg.BusBW)}
+}
+
+// Config returns the configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// MinCopyTime returns the FSB-limited floor for copying n payload bytes.
+func (s *System) MinCopyTime(n int) units.Time {
+	return units.TimeToSend(n, s.cfg.CPUCopyBW)
+}
+
+// CopyStall accounts a CPU copy of n payload bytes starting no earlier than
+// startAt: 2n bytes are queued on the memory bus, and the returned duration
+// is how long the CPU is stalled — the larger of the FSB floor and the time
+// until the bus drains this copy's traffic.
+func (s *System) CopyStall(n int, startAt units.Time) units.Time {
+	if n <= 0 {
+		return 0
+	}
+	s.copyBytes += int64(n)
+	busDone := s.bus.Send(2*n, nil)
+	stall := busDone - startAt
+	if min := s.MinCopyTime(n); stall < min {
+		stall = min
+	}
+	return stall
+}
+
+// DMAReadTime returns the chipset-side service time for a DMA read of n
+// bytes issued as the given number of bus bursts starting no earlier than
+// startAt, and queues the bus traffic. This is the packet-fetch path on
+// transmit, sensitive to MMRBC. The returned duration is the larger of the
+// chipset timing (per-burst setup plus streaming rate) and the time until
+// the memory bus drains this transfer's traffic.
+func (s *System) DMAReadTime(n, bursts int, startAt units.Time) units.Time {
+	return s.dmaTime(n, bursts, startAt, s.cfg.DMAReadSetup, s.cfg.DMAReadBW)
+}
+
+// DMAWriteTime is the receive-side equivalent using posted writes.
+func (s *System) DMAWriteTime(n, bursts int, startAt units.Time) units.Time {
+	return s.dmaTime(n, bursts, startAt, s.cfg.DMAWriteSetup, s.cfg.DMAWriteBW)
+}
+
+func (s *System) dmaTime(n, bursts int, startAt, setup units.Time, bw units.Bandwidth) units.Time {
+	if n <= 0 {
+		return 0
+	}
+	if bursts < 1 {
+		bursts = 1
+	}
+	s.dmaBytes += int64(n)
+	busDone := s.bus.Send(n, nil)
+	t := units.Time(bursts)*setup + units.TimeToSend(n, bw)
+	if stall := busDone - startAt; stall > t {
+		t = stall
+	}
+	return t
+}
+
+// BusUtilization returns the memory bus busy fraction.
+func (s *System) BusUtilization() float64 { return s.bus.Utilization() }
+
+// CopyBytes returns total payload bytes copied by CPUs.
+func (s *System) CopyBytes() int64 { return s.copyBytes }
+
+// DMABytes returns total bytes moved by DMA.
+func (s *System) DMABytes() int64 { return s.dmaBytes }
+
+// StreamReport returns the bandwidth the STREAM copy kernel reports on this
+// host. STREAM counts both the source read and destination write, so the
+// report is roughly twice the payload copy rate, clipped by the bus.
+func (s *System) StreamReport() units.Bandwidth { return s.cfg.StreamBW }

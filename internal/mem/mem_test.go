@@ -1,0 +1,182 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tengig/internal/sim"
+	"tengig/internal/units"
+)
+
+func testConfig() Config {
+	return Config{
+		BusBW:         units.FromGbps(12),
+		CPUCopyBW:     units.FromGbps(5),
+		StreamBW:      units.FromGbps(8.6),
+		DMAReadSetup:  800 * units.Nanosecond,
+		DMAReadBW:     units.FromGbps(6.5),
+		DMAWriteSetup: 200 * units.Nanosecond,
+		DMAWriteBW:    units.FromGbps(7.5),
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := testConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := testConfig()
+	bad.BusBW = 0
+	if bad.Validate() == nil {
+		t.Error("zero BusBW accepted")
+	}
+	bad = testConfig()
+	bad.DMAReadSetup = -1
+	if bad.Validate() == nil {
+		t.Error("negative setup accepted")
+	}
+}
+
+func TestNewSystemPanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewSystem(eng, "h", Config{})
+}
+
+func TestMinCopyTime(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := NewSystem(eng, "h", testConfig())
+	// 5000 bytes at 5 Gb/s = 8 us.
+	got := s.MinCopyTime(5000)
+	if got < 8*units.Microsecond || got > 8*units.Microsecond+units.Nanosecond {
+		t.Errorf("MinCopyTime = %v", got)
+	}
+}
+
+func TestCopyStallUncontended(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := NewSystem(eng, "h", testConfig())
+	// Uncontended: bus does 2n at 12 Gb/s (n at 6 Gb/s effective), CPU floor
+	// is n at 5 Gb/s — the CPU floor dominates.
+	got := s.CopyStall(6000, 0)
+	want := s.MinCopyTime(6000)
+	if got != want {
+		t.Errorf("stall = %v, want FSB floor %v", got, want)
+	}
+	if s.CopyBytes() != 6000 {
+		t.Errorf("copyBytes = %d", s.CopyBytes())
+	}
+}
+
+func TestCopyStallContended(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := NewSystem(eng, "h", testConfig())
+	// Saturate the bus with DMA traffic first; a copy issued now must wait
+	// for the bus, exceeding the FSB floor.
+	s.DMAReadTime(1_000_000, 1, 0)
+	got := s.CopyStall(6000, 0)
+	if got <= s.MinCopyTime(6000) {
+		t.Errorf("stall = %v, want > FSB floor under contention", got)
+	}
+}
+
+func TestCopyStallZero(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := NewSystem(eng, "h", testConfig())
+	if s.CopyStall(0, 0) != 0 {
+		t.Error("zero copy should be free")
+	}
+}
+
+func TestDMAReadTimeBurstSensitivity(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := NewSystem(eng, "h", testConfig())
+	// The paper's MMRBC effect: an 18-burst (512 B) jumbo frame read is far
+	// slower than a 3-burst (4096 B) one.
+	slow := s.DMAReadTime(9018, 18, 0)
+	fast := s.DMAReadTime(9018, 3, 0)
+	if slow <= fast {
+		t.Errorf("18 bursts (%v) should cost more than 3 (%v)", slow, fast)
+	}
+	// 18 bursts: 18*800ns + 9018B@6.5G(11.1us) = 25.5us.
+	if slow < 25*units.Microsecond || slow > 26*units.Microsecond {
+		t.Errorf("18-burst read = %v, want ~25.5us", slow)
+	}
+}
+
+func TestDMAWriteCheaperThanRead(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := NewSystem(eng, "h", testConfig())
+	r := s.DMAReadTime(9018, 3, 0)
+	w := s.DMAWriteTime(9018, 3, 0)
+	if w >= r {
+		t.Errorf("posted write (%v) should beat read (%v)", w, r)
+	}
+}
+
+func TestDMAZeroAndBurstClamp(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := NewSystem(eng, "h", testConfig())
+	if s.DMAReadTime(0, 5, 0) != 0 {
+		t.Error("zero-byte DMA should be free")
+	}
+	// bursts < 1 is clamped to 1.
+	if s.DMAReadTime(100, 0, 0) < testConfig().DMAReadSetup {
+		t.Error("burst clamp failed")
+	}
+}
+
+func TestDMAStallUnderBusContention(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := NewSystem(eng, "h", testConfig())
+	s.CopyStall(2_000_000, 0) // 4 MB of bus traffic queued
+	got := s.DMAReadTime(9018, 3, 0)
+	chipset := units.Time(3)*testConfig().DMAReadSetup + units.TimeToSend(9018, testConfig().DMAReadBW)
+	if got <= chipset {
+		t.Errorf("DMA under contention = %v, want > chipset time %v", got, chipset)
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := NewSystem(eng, "h", testConfig())
+	s.CopyStall(1000, 0)
+	s.DMAReadTime(2000, 1, 0)
+	s.DMAWriteTime(3000, 1, 0)
+	if s.CopyBytes() != 1000 || s.DMABytes() != 5000 {
+		t.Errorf("accounting: copy=%d dma=%d", s.CopyBytes(), s.DMABytes())
+	}
+	eng.RunUntil(units.Second)
+	if u := s.BusUtilization(); u <= 0 || u > 1 {
+		t.Errorf("bus utilization = %v", u)
+	}
+}
+
+func TestStreamReport(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := NewSystem(eng, "h", testConfig())
+	if s.StreamReport() != units.FromGbps(8.6) {
+		t.Errorf("stream = %v", s.StreamReport())
+	}
+}
+
+// Property: CopyStall is at least the FSB floor and monotone in backlog.
+func TestCopyStallFloorProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		eng := sim.NewEngine(5)
+		s := NewSystem(eng, "h", testConfig())
+		for _, raw := range sizes {
+			n := int(raw)%20000 + 1
+			if s.CopyStall(n, eng.Now()) < s.MinCopyTime(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,73 @@
+// Package netem injects network impairments — loss, extra delay,
+// reordering — between a link and its receiver, for failure testing and for
+// the WAN loss experiments. It wraps any phys.Receiver.
+package netem
+
+import (
+	"math/rand"
+
+	"tengig/internal/packet"
+	"tengig/internal/phys"
+	"tengig/internal/sim"
+	"tengig/internal/units"
+)
+
+// Impair wraps a receiver with loss, delay, and reordering.
+type Impair struct {
+	eng *sim.Engine
+	dst phys.Receiver
+	rng *rand.Rand
+
+	// LossProb drops each packet independently with this probability.
+	LossProb float64
+	// DropNth drops exactly the nth packet (1-based) once; 0 disables.
+	// Used to inject the single loss of the paper's Table 1 analysis.
+	DropNth int64
+	// DropFn, if set, decides per packet (after DropNth and LossProb).
+	DropFn func(n int64, pk *packet.Packet) bool
+	// ExtraDelay is added to every delivered packet.
+	ExtraDelay units.Time
+	// ReorderProb delays a packet by ReorderDelay, letting successors pass.
+	ReorderProb  float64
+	ReorderDelay units.Time
+
+	seen    int64
+	dropped int64
+}
+
+// New wraps dst. The rng seed keeps runs reproducible.
+func New(eng *sim.Engine, dst phys.Receiver, seed int64) *Impair {
+	return &Impair{eng: eng, dst: dst, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Seen returns packets observed.
+func (im *Impair) Seen() int64 { return im.seen }
+
+// Dropped returns packets dropped.
+func (im *Impair) Dropped() int64 { return im.dropped }
+
+// Receive implements phys.Receiver.
+func (im *Impair) Receive(pk *packet.Packet) {
+	im.seen++
+	n := im.seen
+	switch {
+	case im.DropNth > 0 && n == im.DropNth:
+		im.dropped++
+		return
+	case im.LossProb > 0 && im.rng.Float64() < im.LossProb:
+		im.dropped++
+		return
+	case im.DropFn != nil && im.DropFn(n, pk):
+		im.dropped++
+		return
+	}
+	delay := im.ExtraDelay
+	if im.ReorderProb > 0 && im.rng.Float64() < im.ReorderProb {
+		delay += im.ReorderDelay
+	}
+	if delay == 0 {
+		im.dst.Receive(pk)
+		return
+	}
+	im.eng.After(delay, func() { im.dst.Receive(pk) })
+}

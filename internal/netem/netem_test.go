@@ -1,0 +1,119 @@
+package netem
+
+import (
+	"math"
+	"testing"
+
+	"tengig/internal/packet"
+	"tengig/internal/sim"
+	"tengig/internal/units"
+)
+
+type collector struct {
+	eng *sim.Engine
+	got []*packet.Packet
+	at  []units.Time
+}
+
+func (c *collector) Receive(p *packet.Packet) {
+	c.got = append(c.got, p)
+	c.at = append(c.at, c.eng.Now())
+}
+
+func TestPassThrough(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := &collector{eng: eng}
+	im := New(eng, c, 1)
+	for i := 0; i < 10; i++ {
+		im.Receive(&packet.Packet{ID: uint64(i)})
+	}
+	eng.Run()
+	if len(c.got) != 10 || im.Dropped() != 0 || im.Seen() != 10 {
+		t.Fatalf("passthrough: got %d, dropped %d", len(c.got), im.Dropped())
+	}
+}
+
+func TestDropNth(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := &collector{eng: eng}
+	im := New(eng, c, 1)
+	im.DropNth = 3
+	for i := 1; i <= 5; i++ {
+		im.Receive(&packet.Packet{ID: uint64(i)})
+	}
+	eng.Run()
+	if len(c.got) != 4 || im.Dropped() != 1 {
+		t.Fatalf("got %d, dropped %d", len(c.got), im.Dropped())
+	}
+	for _, pk := range c.got {
+		if pk.ID == 3 {
+			t.Fatal("nth packet leaked through")
+		}
+	}
+}
+
+func TestRandomLossRate(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := &collector{eng: eng}
+	im := New(eng, c, 42)
+	im.LossProb = 0.1
+	const n = 20000
+	for i := 0; i < n; i++ {
+		im.Receive(&packet.Packet{})
+	}
+	eng.Run()
+	rate := float64(im.Dropped()) / n
+	if math.Abs(rate-0.1) > 0.01 {
+		t.Errorf("loss rate = %.3f, want ~0.10", rate)
+	}
+}
+
+func TestExtraDelay(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := &collector{eng: eng}
+	im := New(eng, c, 1)
+	im.ExtraDelay = 7 * units.Microsecond
+	im.Receive(&packet.Packet{})
+	eng.Run()
+	if c.at[0] != 7*units.Microsecond {
+		t.Errorf("delivered at %v", c.at[0])
+	}
+}
+
+func TestReorder(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := &collector{eng: eng}
+	im := New(eng, c, 9)
+	im.ReorderProb = 0.5
+	im.ReorderDelay = 10 * units.Microsecond
+	for i := 0; i < 50; i++ {
+		im.Receive(&packet.Packet{ID: uint64(i)})
+	}
+	eng.Run()
+	if len(c.got) != 50 {
+		t.Fatalf("delivered %d", len(c.got))
+	}
+	reordered := false
+	for i := 1; i < len(c.got); i++ {
+		if c.got[i].ID < c.got[i-1].ID {
+			reordered = true
+			break
+		}
+	}
+	if !reordered {
+		t.Error("no reordering observed with 50% probability")
+	}
+}
+
+func TestDropFn(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := &collector{eng: eng}
+	im := New(eng, c, 1)
+	im.DropFn = func(n int64, pk *packet.Packet) bool { return pk.Payload > 1000 }
+	im.Receive(&packet.Packet{Payload: 100})
+	im.Receive(&packet.Packet{Payload: 5000})
+	eng.Run()
+	if len(c.got) != 1 || c.got[0].Payload != 100 {
+		t.Fatalf("DropFn misapplied: %v", c.got)
+	}
+}

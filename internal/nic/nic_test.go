@@ -1,0 +1,247 @@
+package nic
+
+import (
+	"testing"
+
+	"tengig/internal/mem"
+	"tengig/internal/packet"
+	"tengig/internal/pci"
+	"tengig/internal/phys"
+	"tengig/internal/sim"
+	"tengig/internal/units"
+)
+
+func testMem(eng *sim.Engine) *mem.System {
+	return mem.NewSystem(eng, "h", mem.Config{
+		BusBW:         units.FromGbps(12),
+		CPUCopyBW:     units.FromGbps(5),
+		StreamBW:      units.FromGbps(8.6),
+		DMAReadSetup:  800 * units.Nanosecond,
+		DMAReadBW:     units.FromGbps(6.5),
+		DMAWriteSetup: 200 * units.Nanosecond,
+		DMAWriteBW:    units.FromGbps(7.5),
+	})
+}
+
+type sink struct {
+	eng  *sim.Engine
+	pkts []*packet.Packet
+	at   []units.Time
+}
+
+func (s *sink) Receive(p *packet.Packet) {
+	s.pkts = append(s.pkts, p)
+	s.at = append(s.at, s.eng.Now())
+}
+
+// rig builds adapter A wired through a link to a raw sink (for tx tests).
+func rig(t *testing.T, cfg Config) (*sim.Engine, *Adapter, *sink) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	bus := pci.NewBus(eng, "pcix", pci.PCIX133(pci.MMRBCMax))
+	a := New(eng, cfg, bus, testMem(eng))
+	link := phys.NewLink(eng, "wire", cfg.LineRate, 50*units.Nanosecond, phys.EthernetFraming{})
+	s := &sink{eng: eng}
+	link.Connect(&sink{eng: eng}, s)
+	a.AttachPort(link.AtoB)
+	return eng, a, s
+}
+
+func mkPkt(ip int) *packet.Packet {
+	return &packet.Packet{Payload: ip - 40, L4Header: 20}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := TenGbE(9000).Validate(); err != nil {
+		t.Fatalf("TenGbE invalid: %v", err)
+	}
+	if err := GbE(1500).Validate(); err != nil {
+		t.Fatalf("GbE invalid: %v", err)
+	}
+	bad := TenGbE(9000)
+	bad.MTU = 17000
+	if bad.Validate() == nil {
+		t.Error("MTU above hardware max accepted")
+	}
+	bad = TenGbE(9000)
+	bad.RxRing = 0
+	if bad.Validate() == nil {
+		t.Error("zero ring accepted")
+	}
+}
+
+func TestTransmitDelivers(t *testing.T) {
+	eng, a, s := rig(t, TenGbE(9000))
+	pk := mkPkt(9000)
+	a.Transmit(pk)
+	eng.Run()
+	if len(s.pkts) != 1 {
+		t.Fatal("packet not delivered")
+	}
+	if a.Stats.TxPackets != 1 || a.Stats.TxBytes != 9000 {
+		t.Errorf("stats: %+v", a.Stats)
+	}
+}
+
+func TestTransmitMTUEnforced(t *testing.T) {
+	_, a, _ := rig(t, TenGbE(1500))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for oversize packet")
+		}
+	}()
+	a.Transmit(mkPkt(1600))
+}
+
+func TestTransmitThroughputMMRBCSensitivity(t *testing.T) {
+	// The paper's §3.3 step: raising MMRBC 512 -> 4096 raises jumbo-frame
+	// transmit throughput substantially.
+	run := func(mmrbc int) float64 {
+		eng := sim.NewEngine(1)
+		bus := pci.NewBus(eng, "pcix", pci.PCIX133(mmrbc))
+		a := New(eng, TenGbE(9000), bus, testMem(eng))
+		link := phys.NewLink(eng, "wire", 10*units.GbitPerSecond, 0, phys.EthernetFraming{})
+		s := &sink{eng: eng}
+		link.Connect(&sink{eng: eng}, s)
+		a.AttachPort(link.AtoB)
+		const n = 500
+		for i := 0; i < n; i++ {
+			a.Transmit(mkPkt(9000))
+		}
+		eng.Run()
+		return units.Throughput(int64(n)*8940, eng.Now()).Gbps()
+	}
+	slow := run(512)
+	fast := run(pci.MMRBCMax)
+	if fast <= slow*1.2 {
+		t.Errorf("MMRBC 4096 (%.2f Gb/s) should beat 512 (%.2f Gb/s) by >20%%", fast, slow)
+	}
+	// Absolute shape: 512 lands in the upper-2s, 4096 well above 4.
+	if slow < 2.0 || slow > 3.5 {
+		t.Errorf("MMRBC 512 payload rate = %.2f Gb/s, want ~2.5-3", slow)
+	}
+	if fast < 4.0 {
+		t.Errorf("MMRBC 4096 payload rate = %.2f Gb/s, want > 4", fast)
+	}
+}
+
+func TestReceiveCoalescing(t *testing.T) {
+	eng := sim.NewEngine(1)
+	bus := pci.NewBus(eng, "pcix", pci.PCIX133(pci.MMRBCMax))
+	a := New(eng, TenGbE(9000), bus, testMem(eng))
+	var batches [][]*packet.Packet
+	var times []units.Time
+	a.SetIRQ(func(b []*packet.Packet) {
+		batches = append(batches, b)
+		times = append(times, eng.Now())
+	})
+	// Three packets arriving close together -> one interrupt ~5us after
+	// the first lands in memory.
+	for i := 0; i < 3; i++ {
+		pk := mkPkt(1500)
+		eng.After(units.Time(i)*units.Microsecond, func() { a.Receive(pk) })
+	}
+	eng.Run()
+	if len(batches) != 1 {
+		t.Fatalf("got %d interrupts, want 1 (coalesced)", len(batches))
+	}
+	if len(batches[0]) != 3 {
+		t.Fatalf("batch size %d, want 3", len(batches[0]))
+	}
+	if a.Stats.Interrupts != 1 || a.Stats.CoalescedPackets != 3 {
+		t.Errorf("stats: %+v", a.Stats)
+	}
+}
+
+func TestReceiveNoCoalescing(t *testing.T) {
+	eng := sim.NewEngine(1)
+	bus := pci.NewBus(eng, "pcix", pci.PCIX133(pci.MMRBCMax))
+	cfg := TenGbE(9000)
+	cfg.CoalesceDelay = 0
+	a := New(eng, cfg, bus, testMem(eng))
+	n := 0
+	a.SetIRQ(func(b []*packet.Packet) { n += len(b) })
+	for i := 0; i < 3; i++ {
+		pk := mkPkt(1500)
+		eng.After(units.Time(i)*10*units.Microsecond, func() { a.Receive(pk) })
+	}
+	eng.Run()
+	if a.Stats.Interrupts != 3 || n != 3 {
+		t.Errorf("want 3 immediate interrupts, got %d (delivered %d)", a.Stats.Interrupts, n)
+	}
+}
+
+func TestCoalescingLatencyDifference(t *testing.T) {
+	// Figure 6 vs 7: coalescing adds its delay to a lone packet's path.
+	oneWay := func(delay units.Time) units.Time {
+		eng := sim.NewEngine(1)
+		bus := pci.NewBus(eng, "pcix", pci.PCIX133(pci.MMRBCMax))
+		cfg := TenGbE(9000)
+		cfg.CoalesceDelay = delay
+		a := New(eng, cfg, bus, testMem(eng))
+		var at units.Time
+		a.SetIRQ(func(b []*packet.Packet) { at = eng.Now() })
+		a.Receive(mkPkt(100))
+		eng.Run()
+		return at
+	}
+	with := oneWay(5 * units.Microsecond)
+	without := oneWay(0)
+	diff := with - without
+	if diff < 4900*units.Nanosecond || diff > 5100*units.Nanosecond {
+		t.Errorf("coalescing delta = %v, want ~5us", diff)
+	}
+}
+
+func TestRxRingOverrun(t *testing.T) {
+	eng := sim.NewEngine(1)
+	bus := pci.NewBus(eng, "pcix", pci.PCIX133(pci.MMRBCMax))
+	cfg := TenGbE(9000)
+	cfg.RxRing = 4
+	cfg.CoalesceDelay = units.Millisecond // hold packets in the ring
+	a := New(eng, cfg, bus, testMem(eng))
+	a.SetIRQ(func(b []*packet.Packet) {})
+	for i := 0; i < 10; i++ {
+		a.Receive(mkPkt(1500))
+	}
+	eng.Run()
+	if a.Stats.RxOverruns != 6 {
+		t.Errorf("overruns = %d, want 6", a.Stats.RxOverruns)
+	}
+}
+
+func TestSetMTUAndCoalesce(t *testing.T) {
+	_, a, _ := rig(t, TenGbE(9000))
+	a.SetMTU(8160)
+	if a.Config().MTU != 8160 {
+		t.Error("SetMTU")
+	}
+	a.SetCoalesceDelay(0)
+	if a.Config().CoalesceDelay != 0 {
+		t.Error("SetCoalesceDelay")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for invalid MTU")
+		}
+	}()
+	a.SetMTU(20000)
+}
+
+func TestTxFIFOOrder(t *testing.T) {
+	eng, a, s := rig(t, TenGbE(9000))
+	for i := 1; i <= 10; i++ {
+		pk := mkPkt(1500)
+		pk.ID = uint64(i)
+		a.Transmit(pk)
+	}
+	eng.Run()
+	if len(s.pkts) != 10 {
+		t.Fatalf("delivered %d", len(s.pkts))
+	}
+	for i, pk := range s.pkts {
+		if pk.ID != uint64(i+1) {
+			t.Fatalf("out of order at %d: %d", i, pk.ID)
+		}
+	}
+}

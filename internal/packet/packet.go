@@ -1,0 +1,82 @@
+// Package packet defines the simulated packet that flows between hosts,
+// switches, routers, and links. Packets carry byte-count metadata rather
+// than payload bytes: the simulator models where every byte goes and what it
+// costs, not its contents.
+package packet
+
+import (
+	"fmt"
+
+	"tengig/internal/ipv4"
+	"tengig/internal/units"
+)
+
+// Protocol is the L4 protocol of a packet.
+type Protocol uint8
+
+// Supported protocols.
+const (
+	ProtoTCP Protocol = iota
+	ProtoUDP
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}
+
+// Packet is one simulated datagram. The L4 module (TCP) attaches its segment
+// state via Seg; lower layers treat packets opaquely and only use the byte
+// counts for timing.
+type Packet struct {
+	ID     uint64
+	FlowID uint32
+	Src    ipv4.Addr
+	Dst    ipv4.Addr
+	Proto  Protocol
+
+	// Payload is the L4 user-data length in bytes.
+	Payload int
+	// L4Header is the transport header length (TCP header + options).
+	L4Header int
+
+	// Seg carries the TCP segment for ProtoTCP packets.
+	Seg any
+
+	// SentAt is stamped when the packet first enters its source NIC; used
+	// for latency measurement and tracing.
+	SentAt units.Time
+
+	// Hops counts store-and-forward elements traversed (diagnostics).
+	Hops int
+}
+
+// IPLen returns the IP datagram length: payload plus transport and IP
+// headers. This is the quantity constrained by the MTU.
+func (p *Packet) IPLen() int { return p.Payload + p.L4Header + ipv4.HeaderLen }
+
+// String renders a compact description for diagnostics.
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt#%d %s %v->%v len=%d", p.ID, p.Proto, p.Src, p.Dst, p.IPLen())
+}
+
+// IDGen hands out unique packet IDs. The zero value is ready to use; set
+// Base to a disjoint value per generator (e.g. the host address shifted
+// high) so IDs are unique across the whole simulation.
+type IDGen struct {
+	Base uint64
+	next uint64
+}
+
+// Next returns a fresh ID (Base+1, Base+2, ...).
+func (g *IDGen) Next() uint64 {
+	g.next++
+	return g.Base + g.next
+}

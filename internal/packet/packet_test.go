@@ -1,0 +1,47 @@
+package packet
+
+import (
+	"strings"
+	"testing"
+
+	"tengig/internal/ipv4"
+)
+
+func TestIPLen(t *testing.T) {
+	p := &Packet{Payload: 1460, L4Header: 20}
+	if got := p.IPLen(); got != 1500 {
+		t.Errorf("IPLen = %d, want 1500", got)
+	}
+	// With TCP timestamps the header grows by 12.
+	p.L4Header = 32
+	if got := p.IPLen(); got != 1512 {
+		t.Errorf("IPLen = %d, want 1512", got)
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	if ProtoTCP.String() != "tcp" || ProtoUDP.String() != "udp" {
+		t.Error("protocol names")
+	}
+	if !strings.Contains(Protocol(9).String(), "9") {
+		t.Error("unknown protocol should include number")
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	p := &Packet{ID: 7, Src: ipv4.HostN(1), Dst: ipv4.HostN(2), Payload: 100, L4Header: 20}
+	s := p.String()
+	for _, want := range []string{"pkt#7", "tcp", "10.0.0.1", "10.0.0.2", "140"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestIDGen(t *testing.T) {
+	var g IDGen
+	a, b, c := g.Next(), g.Next(), g.Next()
+	if a != 1 || b != 2 || c != 3 {
+		t.Errorf("ids = %d,%d,%d", a, b, c)
+	}
+}

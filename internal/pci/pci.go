@@ -1,0 +1,148 @@
+// Package pci models the PCI-X bus that carries every packet between host
+// memory and the 10GbE adapter — the hardware bottleneck the paper
+// identifies (§2: a 133-MHz, 64-bit PCI-X bus peaks at 8.5 Gb/s, less than
+// half the adapter's 20.6 Gb/s bidirectional optics).
+//
+// The model is transaction-level: a DMA transfer of N bytes is split into
+// bursts of at most MMRBC (maximum memory read byte count) bytes; each burst
+// pays a fixed overhead in bus cycles (arbitration, attribute and address
+// phases, target initial latency) plus one data phase per 8 bytes. Raising
+// MMRBC from the default 512 to 4096 is the paper's first big optimization
+// (§3.3, +33% peak throughput with jumbo frames).
+package pci
+
+import (
+	"fmt"
+
+	"tengig/internal/sim"
+	"tengig/internal/units"
+)
+
+// Standard MMRBC register values.
+const (
+	MMRBCDefault = 512
+	MMRBCMax     = 4096
+)
+
+// Config describes a PCI or PCI-X bus.
+type Config struct {
+	// ClockMHz is the bus clock: 33/66 for PCI, 66/100/133 for PCI-X.
+	ClockMHz int
+	// WidthBytes is the data path width: 4 (32-bit) or 8 (64-bit).
+	WidthBytes int
+	// MMRBC is the maximum memory read byte count per burst.
+	MMRBC int
+	// BurstOverheadCycles is the fixed per-burst cost in bus cycles.
+	BurstOverheadCycles int
+}
+
+// PCIX133 returns the paper's dedicated 133-MHz, 64-bit PCI-X bus with the
+// given MMRBC.
+func PCIX133(mmrbc int) Config {
+	return Config{ClockMHz: 133, WidthBytes: 8, MMRBC: mmrbc, BurstOverheadCycles: 20}
+}
+
+// PCIX100 returns a 100-MHz, 64-bit PCI-X bus (the PE4600's slot).
+func PCIX100(mmrbc int) Config {
+	return Config{ClockMHz: 100, WidthBytes: 8, MMRBC: mmrbc, BurstOverheadCycles: 20}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.ClockMHz <= 0 || c.WidthBytes <= 0 || c.MMRBC <= 0 {
+		return fmt.Errorf("pci: invalid config %+v", c)
+	}
+	if c.BurstOverheadCycles < 0 {
+		return fmt.Errorf("pci: negative burst overhead")
+	}
+	return nil
+}
+
+// RawBandwidth returns the bus's peak data rate (clock × width), e.g.
+// 8.5 Gb/s for PCI-X 133/64.
+func (c Config) RawBandwidth() units.Bandwidth {
+	return units.Bandwidth(int64(c.ClockMHz) * 1e6 * int64(c.WidthBytes) * 8)
+}
+
+// CyclePeriod returns the duration of one bus cycle.
+func (c Config) CyclePeriod() units.Time {
+	return units.Time(1_000_000/int64(c.ClockMHz)) * units.Picosecond
+}
+
+// Bursts returns how many bus transactions a transfer of n bytes needs.
+func (c Config) Bursts(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + c.MMRBC - 1) / c.MMRBC
+}
+
+// TransferTime returns the bus occupancy of an n-byte transfer: per-burst
+// overhead plus data phases.
+func (c Config) TransferTime(n int) units.Time {
+	if n <= 0 {
+		return 0
+	}
+	dataCycles := (n + c.WidthBytes - 1) / c.WidthBytes
+	cycles := int64(c.Bursts(n)*c.BurstOverheadCycles) + int64(dataCycles)
+	return units.Time(cycles * int64(c.CyclePeriod()))
+}
+
+// Efficiency returns the fraction of raw bandwidth delivered for n-byte
+// transfers.
+func (c Config) Efficiency(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	ideal := units.TimeToSend(n, c.RawBandwidth())
+	return ideal.Seconds() / c.TransferTime(n).Seconds()
+}
+
+// Bus is a shared PCI-X bus instance: a FIFO resource whose occupancy per
+// transfer follows the Config's timing model. Multiple devices on one bus
+// contend here; the paper's multi-adapter test (§3.5.2) puts each adapter on
+// an independent Bus.
+type Bus struct {
+	cfg    Config
+	srv    *sim.Server
+	bytes  int64
+	xfers  int64
+	bursts int64
+}
+
+// NewBus returns a bus bound to the engine. Panics on invalid config.
+func NewBus(eng *sim.Engine, name string, cfg Config) *Bus {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
+	return &Bus{cfg: cfg, srv: sim.NewServer(eng, name)}
+}
+
+// Config returns the bus configuration.
+func (b *Bus) Config() Config { return b.cfg }
+
+// SetMMRBC reprograms the burst size register (the paper's setpci step).
+func (b *Bus) SetMMRBC(mmrbc int) {
+	if mmrbc <= 0 {
+		panic("pci: invalid MMRBC")
+	}
+	b.cfg.MMRBC = mmrbc
+}
+
+// Transfer occupies the bus for an n-byte DMA and calls then at completion.
+// It returns the completion time.
+func (b *Bus) Transfer(n int, then func()) units.Time {
+	b.bytes += int64(n)
+	b.xfers++
+	b.bursts += int64(b.cfg.Bursts(n))
+	return b.srv.Submit(b.cfg.TransferTime(n), then)
+}
+
+// Utilization returns the bus's busy fraction.
+func (b *Bus) Utilization() float64 { return b.srv.Utilization() }
+
+// Bytes returns total bytes transferred.
+func (b *Bus) Bytes() int64 { return b.bytes }
+
+// Transfers returns the number of DMA transfers.
+func (b *Bus) Transfers() int64 { return b.xfers }

@@ -1,0 +1,158 @@
+package pci
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tengig/internal/sim"
+	"tengig/internal/units"
+)
+
+func TestRawBandwidth(t *testing.T) {
+	// The paper's headline: PCI-X 133/64 peaks at 8.5 Gb/s.
+	c := PCIX133(MMRBCDefault)
+	got := c.RawBandwidth().Gbps()
+	if got < 8.5 || got > 8.52 {
+		t.Errorf("PCI-X 133 raw = %v Gb/s, want ~8.5", got)
+	}
+	if got := PCIX100(MMRBCDefault).RawBandwidth().Gbps(); got < 6.3 || got > 6.41 {
+		t.Errorf("PCI-X 100 raw = %v Gb/s, want ~6.4", got)
+	}
+}
+
+func TestCyclePeriod(t *testing.T) {
+	c := PCIX133(512)
+	// 133 MHz -> ~7.52 ns.
+	got := c.CyclePeriod()
+	if got < 7510*units.Picosecond || got > 7525*units.Picosecond {
+		t.Errorf("cycle = %v", got)
+	}
+}
+
+func TestBursts(t *testing.T) {
+	c := PCIX133(512)
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 1}, {512, 1}, {513, 2}, {9018, 18},
+	}
+	for _, tc := range cases {
+		if got := c.Bursts(tc.n); got != tc.want {
+			t.Errorf("Bursts(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+	c.MMRBC = 4096
+	if got := c.Bursts(9018); got != 3 {
+		t.Errorf("Bursts(9018)@4096 = %d, want 3", got)
+	}
+}
+
+func TestTransferTimeAndEfficiency(t *testing.T) {
+	small := PCIX133(512)
+	large := PCIX133(4096)
+	// Larger bursts must be strictly more efficient for jumbo frames.
+	if small.Efficiency(9018) >= large.Efficiency(9018) {
+		t.Errorf("efficiency 512=%v should be < 4096=%v",
+			small.Efficiency(9018), large.Efficiency(9018))
+	}
+	// Efficiency is in (0,1].
+	for _, n := range []int{64, 512, 1514, 9018, 16014} {
+		e := large.Efficiency(n)
+		if e <= 0 || e > 1 {
+			t.Errorf("efficiency(%d) = %v out of range", n, e)
+		}
+	}
+	if small.TransferTime(0) != 0 {
+		t.Error("zero-byte transfer should be free")
+	}
+}
+
+// Property: transfer time is monotone in n and superadditive-safe: splitting
+// a transfer never makes it faster (more bursts -> more overhead).
+func TestTransferTimeProperty(t *testing.T) {
+	c := PCIX133(512)
+	f := func(a, b uint16) bool {
+		n1, n2 := int(a)%16000+1, int(b)%16000+1
+		whole := c.TransferTime(n1 + n2)
+		split := c.TransferTime(n1) + c.TransferTime(n2)
+		return split >= whole && c.TransferTime(n1+1) >= c.TransferTime(n1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := PCIX133(512).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := Config{}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero config accepted")
+	}
+	neg := PCIX133(512)
+	neg.BurstOverheadCycles = -1
+	if err := neg.Validate(); err == nil {
+		t.Error("negative overhead accepted")
+	}
+}
+
+func TestBusFIFOAndStats(t *testing.T) {
+	eng := sim.NewEngine(1)
+	b := NewBus(eng, "pcix", PCIX133(4096))
+	var order []int
+	b.Transfer(4096, func() { order = append(order, 1) })
+	b.Transfer(4096, func() { order = append(order, 2) })
+	eng.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+	if b.Bytes() != 8192 || b.Transfers() != 2 {
+		t.Errorf("stats: %d bytes, %d xfers", b.Bytes(), b.Transfers())
+	}
+	if b.Utilization() <= 0 || b.Utilization() > 1 {
+		t.Errorf("utilization = %v", b.Utilization())
+	}
+}
+
+func TestBusSetMMRBC(t *testing.T) {
+	eng := sim.NewEngine(1)
+	b := NewBus(eng, "pcix", PCIX133(MMRBCDefault))
+	b.SetMMRBC(MMRBCMax)
+	if b.Config().MMRBC != MMRBCMax {
+		t.Error("SetMMRBC did not stick")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for MMRBC=0")
+		}
+	}()
+	b.SetMMRBC(0)
+}
+
+func TestNewBusPanicsOnInvalid(t *testing.T) {
+	eng := sim.NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewBus(eng, "bad", Config{})
+}
+
+func TestBusNeverExceedsRawBandwidth(t *testing.T) {
+	eng := sim.NewEngine(1)
+	b := NewBus(eng, "pcix", PCIX133(4096))
+	total := 0
+	for i := 0; i < 200; i++ {
+		b.Transfer(9018, func() {})
+		total += 9018
+	}
+	eng.Run()
+	got := units.Throughput(int64(total), eng.Now())
+	if got > b.Config().RawBandwidth() {
+		t.Errorf("bus moved %v, above raw %v", got, b.Config().RawBandwidth())
+	}
+	// And with 4096-byte bursts it should still beat 85% efficiency.
+	if float64(got) < 0.85*float64(b.Config().RawBandwidth()) {
+		t.Errorf("bus too slow: %v", got)
+	}
+}

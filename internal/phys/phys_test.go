@@ -1,0 +1,188 @@
+package phys
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tengig/internal/packet"
+	"tengig/internal/sim"
+	"tengig/internal/units"
+)
+
+type collector struct {
+	got []*packet.Packet
+	at  []units.Time
+	eng *sim.Engine
+}
+
+func (c *collector) Receive(p *packet.Packet) {
+	c.got = append(c.got, p)
+	c.at = append(c.at, c.eng.Now())
+}
+
+func TestPortDeliveryTiming(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := &collector{eng: eng}
+	// 10 Gb/s Ethernet, 1 us propagation.
+	p := NewPort(eng, "test", 10*units.GbitPerSecond, units.Microsecond, EthernetFraming{})
+	p.SetDst(c)
+	pk := &packet.Packet{ID: 1, Payload: 1460, L4Header: 20} // IP len 1500
+	p.Send(pk)
+	eng.Run()
+	if len(c.got) != 1 {
+		t.Fatal("packet not delivered")
+	}
+	// 1538 wire bytes at 10G = 1230.4 ns, + 1000 ns propagation.
+	want := units.Time(1538*800)*units.Picosecond + units.Microsecond
+	if c.at[0] < want || c.at[0] > want+units.Nanosecond {
+		t.Errorf("delivered at %v, want ~%v", c.at[0], want)
+	}
+}
+
+func TestPortFIFOOrder(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := &collector{eng: eng}
+	p := NewPort(eng, "test", units.GbitPerSecond, 0, EthernetFraming{})
+	p.SetDst(c)
+	for i := 1; i <= 5; i++ {
+		p.Send(&packet.Packet{ID: uint64(i), Payload: 100})
+	}
+	eng.Run()
+	for i, pk := range c.got {
+		if pk.ID != uint64(i+1) {
+			t.Fatalf("out of order: %v", c.got)
+		}
+	}
+	if p.Packets() != 5 {
+		t.Errorf("packets = %d", p.Packets())
+	}
+}
+
+func TestPortLineRateRespected(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := &collector{eng: eng}
+	p := NewPort(eng, "test", units.GbitPerSecond, 0, EthernetFraming{})
+	p.SetDst(c)
+	const n = 100
+	for i := 0; i < n; i++ {
+		p.Send(&packet.Packet{Payload: 1480, L4Header: 0}) // IP 1500
+	}
+	eng.Run()
+	// n*1538 wire bytes at 1 Gb/s.
+	elapsed := eng.Now()
+	gbps := units.Throughput(n*1538, elapsed).Gbps()
+	if gbps > 1.0001 {
+		t.Errorf("wire exceeded line rate: %v Gb/s", gbps)
+	}
+	if gbps < 0.999 {
+		t.Errorf("wire under-used with back-to-back frames: %v Gb/s", gbps)
+	}
+}
+
+func TestUnattachedPortPanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	p := NewPort(eng, "test", units.GbitPerSecond, 0, EthernetFraming{})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	p.Send(&packet.Packet{Payload: 100})
+}
+
+func TestNegativePropPanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewPort(eng, "test", units.GbitPerSecond, -1, EthernetFraming{})
+}
+
+func TestLinkFullDuplex(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a := &collector{eng: eng}
+	b := &collector{eng: eng}
+	l := NewLink(eng, "x", 10*units.GbitPerSecond, 0, EthernetFraming{})
+	l.Connect(a, b)
+	l.AtoB.Send(&packet.Packet{ID: 1, Payload: 100})
+	l.BtoA.Send(&packet.Packet{ID: 2, Payload: 100})
+	eng.Run()
+	if len(b.got) != 1 || b.got[0].ID != 1 {
+		t.Error("a->b failed")
+	}
+	if len(a.got) != 1 || a.got[0].ID != 2 {
+		t.Error("b->a failed")
+	}
+}
+
+func TestPOSFraming(t *testing.T) {
+	f := POSFraming{}
+	if got := f.WireBytes(9000); got != 9009 {
+		t.Errorf("POS WireBytes(9000) = %d, want 9009", got)
+	}
+	if f.Derate() <= 0.96 || f.Derate() >= 0.97 {
+		t.Errorf("SPE derate = %v, want ~0.9667", f.Derate())
+	}
+	// An OC-48 POS link should deliver ~2.405 Gb/s of envelope.
+	oc48 := units.FromGbps(2.48832)
+	eff := float64(oc48) * f.Derate() / 1e9
+	if eff < 2.40 || eff > 2.41 {
+		t.Errorf("OC-48 envelope = %v Gb/s", eff)
+	}
+}
+
+func TestEthernetFramingName(t *testing.T) {
+	if (EthernetFraming{}).Name() != "ethernet" || (POSFraming{}).Name() != "pos" {
+		t.Error("framing names")
+	}
+}
+
+func TestFiberDelay(t *testing.T) {
+	// 1000 km of fiber ~ 4.9 ms.
+	if got := FiberDelay(1000); got != units.Time(4.9*float64(units.Millisecond)) {
+		t.Errorf("FiberDelay(1000km) = %v", got)
+	}
+	if FiberDelay(0) != 0 {
+		t.Error("zero length should be zero delay")
+	}
+}
+
+// Property: delivery time is serialization-ordered — for any mix of sizes
+// sent back to back, packets arrive in send order and never faster than the
+// line rate allows.
+func TestPortOrderingProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		eng := sim.NewEngine(3)
+		c := &collector{eng: eng}
+		p := NewPort(eng, "t", units.GbitPerSecond, 50*units.Nanosecond, EthernetFraming{})
+		p.SetDst(c)
+		wire := 0
+		for i, s := range sizes {
+			n := int(s)%9000 + 1
+			wire += EthernetFraming{}.WireBytes(n)
+			p.Send(&packet.Packet{ID: uint64(i + 1), Payload: n})
+		}
+		eng.Run()
+		if len(c.got) != len(sizes) {
+			return false
+		}
+		for i := range c.got {
+			if c.got[i].ID != uint64(i+1) {
+				return false
+			}
+			if i > 0 && c.at[i] < c.at[i-1] {
+				return false
+			}
+		}
+		if len(sizes) == 0 {
+			return true
+		}
+		minTime := units.TimeToSend(wire, units.GbitPerSecond)
+		return c.at[len(c.at)-1] >= minTime
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

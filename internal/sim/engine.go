@@ -1,0 +1,179 @@
+// Package sim provides the discrete-event simulation kernel used by every
+// substrate in this repository: an event scheduler with deterministic
+// ordering, FIFO queueing resources, and a seeded random source.
+//
+// All simulated components share one *Engine. Components schedule closures at
+// absolute or relative simulated times; Run drains the event queue in
+// (time, insertion-order) order, so simulations are fully deterministic for a
+// given seed and construction order.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"tengig/internal/units"
+)
+
+// event is a scheduled closure.
+type event struct {
+	at  units.Time
+	seq uint64 // tie-break: FIFO among events at the same instant
+	do  func()
+	idx int // heap index, -1 when popped/cancelled
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Timer is a handle to a scheduled event that can be cancelled or
+// rescheduled. The zero value is not usable; Timers come from Schedule/After.
+type Timer struct {
+	eng *Engine
+	ev  *event
+}
+
+// Stop cancels the timer if it has not fired yet. It reports whether the
+// event was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.idx < 0 {
+		return false
+	}
+	heap.Remove(&t.eng.pq, t.ev.idx)
+	t.ev.do = nil
+	t.ev = nil
+	return true
+}
+
+// Pending reports whether the timer is still scheduled.
+func (t *Timer) Pending() bool { return t != nil && t.ev != nil && t.ev.idx >= 0 }
+
+// Engine is the discrete-event scheduler. It is not safe for concurrent use;
+// a simulation runs on a single goroutine (parallelism in this repository
+// lives at the experiment level, where independent simulations run in
+// parallel under `go test`).
+type Engine struct {
+	pq      eventHeap
+	now     units.Time
+	seq     uint64
+	stopped bool
+	rng     *rand.Rand
+	// Executed counts events run; useful for progress assertions in tests.
+	Executed uint64
+}
+
+// NewEngine returns an engine whose clock starts at zero, with a
+// deterministic random source derived from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() units.Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule runs do at absolute simulated time at. Events scheduled for the
+// current instant run after the currently-executing event returns. Panics if
+// at is in the past.
+func (e *Engine) Schedule(at units.Time, do func()) *Timer {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: at=%v now=%v", at, e.now))
+	}
+	if do == nil {
+		panic("sim: scheduling nil closure")
+	}
+	ev := &event{at: at, seq: e.seq, do: do}
+	e.seq++
+	heap.Push(&e.pq, ev)
+	return &Timer{eng: e, ev: ev}
+}
+
+// After runs do after duration d from the current time.
+func (e *Engine) After(d units.Time, do func()) *Timer {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	return e.Schedule(e.now+d, do)
+}
+
+// Stop makes Run/RunUntil return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Step executes the single earliest event. It reports false if the queue is
+// empty.
+func (e *Engine) Step() bool {
+	for len(e.pq) > 0 {
+		ev := heap.Pop(&e.pq).(*event)
+		if ev.do == nil { // cancelled
+			continue
+		}
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		do := ev.do
+		ev.do = nil
+		e.Executed++
+		do()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline (or until Stop), then
+// advances the clock to deadline if it is later than the last event.
+func (e *Engine) RunUntil(deadline units.Time) {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.pq) == 0 {
+			break
+		}
+		// Peek.
+		if e.pq[0].at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if !e.stopped && e.now < deadline {
+		e.now = deadline
+	}
+}

@@ -1,0 +1,56 @@
+package stats
+
+import (
+	"tengig/internal/units"
+)
+
+// CPUSampler estimates CPU load the way the paper does — by sampling
+// /proc/loadavg-style utilization at fixed intervals during a run. It reads
+// the busy time of a set of CPU servers through the BusyReader interface and
+// reports the average fraction of CPU capacity in use between samples.
+type CPUSampler struct {
+	interval units.Time
+	samples  Summary
+	lastBusy units.Time
+	lastAt   units.Time
+	primed   bool
+	ncpu     int
+}
+
+// BusyReader exposes accumulated busy time; satisfied by the host's CPU set.
+type BusyReader interface {
+	TotalBusy() units.Time
+	NumCPU() int
+}
+
+// NewCPUSampler returns a sampler that should be polled every interval.
+func NewCPUSampler(interval units.Time) *CPUSampler {
+	return &CPUSampler{interval: interval}
+}
+
+// Interval returns the configured sampling interval.
+func (c *CPUSampler) Interval() units.Time { return c.interval }
+
+// Sample records one observation at simulated time now.
+func (c *CPUSampler) Sample(now units.Time, r BusyReader) {
+	busy := r.TotalBusy()
+	c.ncpu = r.NumCPU()
+	if c.primed && now > c.lastAt {
+		window := (now - c.lastAt).Seconds()
+		load := (busy - c.lastBusy).Seconds() / window
+		c.samples.Add(load)
+	}
+	c.lastBusy = busy
+	c.primed = true
+	c.lastAt = now
+}
+
+// Load returns the mean load in "CPUs busy" units, like loadavg: 0.9 means
+// nine tenths of one CPU.
+func (c *CPUSampler) Load() float64 { return c.samples.Mean() }
+
+// PeakLoad returns the highest observed load.
+func (c *CPUSampler) PeakLoad() float64 { return c.samples.Max() }
+
+// Samples returns the number of recorded windows.
+func (c *CPUSampler) Samples() int64 { return c.samples.N() }

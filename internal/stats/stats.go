@@ -1,0 +1,288 @@
+// Package stats provides the measurement primitives used by the experiment
+// harness: online summary statistics, fixed-bin histograms, time-bucketed
+// rate series, and a /proc/loadavg-style load sampler.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates online count/mean/variance/min/max without storing
+// samples (Welford's algorithm). The zero value is ready to use.
+type Summary struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one sample.
+func (s *Summary) Add(x float64) {
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// Merge folds other into s, as if all of other's samples had been Added.
+func (s *Summary) Merge(other Summary) {
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = other
+		return
+	}
+	n := s.n + other.n
+	d := other.mean - s.mean
+	mean := s.mean + d*float64(other.n)/float64(n)
+	m2 := s.m2 + other.m2 + d*d*float64(s.n)*float64(other.n)/float64(n)
+	min := s.min
+	if other.min < min {
+		min = other.min
+	}
+	max := s.max
+	if other.max > max {
+		max = other.max
+	}
+	*s = Summary{n: n, mean: mean, m2: m2, min: min, max: max}
+}
+
+// N returns the sample count.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest sample (0 with no samples).
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest sample (0 with no samples).
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Variance returns the unbiased sample variance.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Variance()) }
+
+// String summarizes the distribution.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g min=%.4g max=%.4g sd=%.3g",
+		s.n, s.Mean(), s.Min(), s.Max(), s.Stddev())
+}
+
+// Quantiler stores samples to answer exact quantile queries. Intended for
+// the latency experiments, where sample counts are modest.
+type Quantiler struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add records one sample.
+func (q *Quantiler) Add(x float64) {
+	q.xs = append(q.xs, x)
+	q.sorted = false
+}
+
+// N returns the sample count.
+func (q *Quantiler) N() int { return len(q.xs) }
+
+// Quantile returns the p-quantile (0 <= p <= 1) using nearest-rank on the
+// sorted samples. Returns 0 with no samples.
+func (q *Quantiler) Quantile(p float64) float64 {
+	if len(q.xs) == 0 {
+		return 0
+	}
+	if !q.sorted {
+		sort.Float64s(q.xs)
+		q.sorted = true
+	}
+	if p <= 0 {
+		return q.xs[0]
+	}
+	if p >= 1 {
+		return q.xs[len(q.xs)-1]
+	}
+	i := int(math.Ceil(p*float64(len(q.xs)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return q.xs[i]
+}
+
+// Median returns the 0.5 quantile.
+func (q *Quantiler) Median() float64 { return q.Quantile(0.5) }
+
+// Histogram counts samples into equal-width bins over [lo, hi); samples
+// outside the range land in the under/overflow counters.
+type Histogram struct {
+	lo, hi    float64
+	width     float64
+	bins      []int64
+	under     int64
+	over      int64
+	total     int64
+	sum       float64
+	populated bool
+}
+
+// NewHistogram builds a histogram with n equal bins spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(n), bins: make([]int64, n)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	h.sum += x
+	h.populated = true
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		i := int((x - h.lo) / h.width)
+		if i >= len(h.bins) { // guard FP edge
+			i = len(h.bins) - 1
+		}
+		h.bins[i]++
+	}
+}
+
+// Count returns the number of samples in bin i.
+func (h *Histogram) Count(i int) int64 { return h.bins[i] }
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.bins) }
+
+// BinLow returns the lower edge of bin i.
+func (h *Histogram) BinLow(i int) float64 { return h.lo + float64(i)*h.width }
+
+// Total returns the total number of samples including under/overflow.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Outliers returns the underflow and overflow counts.
+func (h *Histogram) Outliers() (under, over int64) { return h.under, h.over }
+
+// Mean returns the mean of all samples.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Series records (x, y) points, e.g. payload size vs throughput — the shape
+// of every figure in the paper.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// PeakY returns the maximum y value and its x (0,0 when empty).
+func (s *Series) PeakY() (x, y float64) {
+	for i, v := range s.Y {
+		if i == 0 || v > y {
+			x, y = s.X[i], v
+		}
+	}
+	return
+}
+
+// MeanY returns the average of the y values.
+func (s *Series) MeanY() float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Y {
+		sum += v
+	}
+	return sum / float64(len(s.Y))
+}
+
+// MinY returns the minimum y value (0 when empty).
+func (s *Series) MinY() float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	min := s.Y[0]
+	for _, v := range s.Y[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// YAt returns the y for the first x >= target, or the last y. Useful for
+// reading a figure at a given payload size.
+func (s *Series) YAt(target float64) float64 {
+	if len(s.X) == 0 {
+		return 0
+	}
+	for i, x := range s.X {
+		if x >= target {
+			return s.Y[i]
+		}
+	}
+	return s.Y[len(s.Y)-1]
+}
+
+// MeanYOver returns the mean of y restricted to points with x >= lo. It
+// mirrors how the paper quotes "average throughput" over the upper payload
+// range of a sweep.
+func (s *Series) MeanYOver(lo float64) float64 {
+	sum, n := 0.0, 0
+	for i, x := range s.X {
+		if x >= lo {
+			sum += s.Y[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

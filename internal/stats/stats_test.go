@@ -1,0 +1,270 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tengig/internal/units"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("n = %d", s.N())
+	}
+	if !almost(s.Mean(), 5, 1e-12) {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	// Population variance is 4; sample variance = 32/7.
+	if !almost(s.Variance(), 32.0/7.0, 1e-12) {
+		t.Errorf("variance = %v", s.Variance())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Variance() != 0 || s.Stddev() != 0 {
+		t.Error("empty summary should be all zeros")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var s Summary
+	s.Add(1)
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+// Property: merging two summaries equals adding all samples to one.
+func TestSummaryMergeProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		clean := func(xs []float64) []float64 {
+			out := xs[:0]
+			for _, x := range xs {
+				if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+					out = append(out, x)
+				}
+			}
+			return out
+		}
+		a, b = clean(a), clean(b)
+		var sa, sb, all Summary
+		for _, x := range a {
+			sa.Add(x)
+			all.Add(x)
+		}
+		for _, x := range b {
+			sb.Add(x)
+			all.Add(x)
+		}
+		sa.Merge(sb)
+		if sa.N() != all.N() {
+			return false
+		}
+		if sa.N() == 0 {
+			return true
+		}
+		scale := math.Max(1, math.Abs(all.Mean()))
+		return almost(sa.Mean(), all.Mean(), 1e-9*scale) &&
+			sa.Min() == all.Min() && sa.Max() == all.Max() &&
+			almost(sa.Variance(), all.Variance(), 1e-6*scale*scale+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantiler(t *testing.T) {
+	var q Quantiler
+	for i := 1; i <= 100; i++ {
+		q.Add(float64(i))
+	}
+	if q.N() != 100 {
+		t.Fatalf("n = %d", q.N())
+	}
+	if got := q.Median(); got != 50 {
+		t.Errorf("median = %v", got)
+	}
+	if got := q.Quantile(0.99); got != 99 {
+		t.Errorf("p99 = %v", got)
+	}
+	if got := q.Quantile(0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := q.Quantile(1); got != 100 {
+		t.Errorf("p100 = %v", got)
+	}
+}
+
+func TestQuantilerEmpty(t *testing.T) {
+	var q Quantiler
+	if q.Quantile(0.5) != 0 {
+		t.Error("empty quantiler should return 0")
+	}
+}
+
+// Property: quantiles are monotone in p and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(xs []float64, p1, p2 float64) bool {
+		var q Quantiler
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				continue
+			}
+			q.Add(x)
+		}
+		if q.N() == 0 {
+			return true
+		}
+		p1 = math.Abs(math.Mod(p1, 1))
+		p2 = math.Abs(math.Mod(p2, 1))
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return q.Quantile(p1) <= q.Quantile(p2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)
+	h.Add(11)
+	for i := 0; i < 10; i++ {
+		if h.Count(i) != 1 {
+			t.Errorf("bin %d = %d, want 1", i, h.Count(i))
+		}
+	}
+	under, over := h.Outliers()
+	if under != 1 || over != 1 {
+		t.Errorf("outliers = %d/%d", under, over)
+	}
+	if h.Total() != 12 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if h.Bins() != 10 {
+		t.Errorf("bins = %d", h.Bins())
+	}
+	if h.BinLow(3) != 3 {
+		t.Errorf("binlow(3) = %v", h.BinLow(3))
+	}
+	if !almost(h.Mean(), (0.5+1.5+2.5+3.5+4.5+5.5+6.5+7.5+8.5+9.5-1+11)/12, 1e-12) {
+		t.Errorf("mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramInvalidShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}
+
+// Property: every histogram sample is accounted for exactly once.
+func TestHistogramConservationProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		h := NewHistogram(-100, 100, 37)
+		n := int64(0)
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				continue
+			}
+			h.Add(x)
+			n++
+		}
+		sum := int64(0)
+		for i := 0; i < h.Bins(); i++ {
+			sum += h.Count(i)
+		}
+		u, o := h.Outliers()
+		return sum+u+o == n && h.Total() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(128, 1.0)
+	s.Add(1024, 2.5)
+	s.Add(8192, 4.1)
+	s.Add(16384, 3.9)
+	if s.Len() != 4 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	x, y := s.PeakY()
+	if x != 8192 || y != 4.1 {
+		t.Errorf("peak = (%v,%v)", x, y)
+	}
+	if !almost(s.MeanY(), (1.0+2.5+4.1+3.9)/4, 1e-12) {
+		t.Errorf("meanY = %v", s.MeanY())
+	}
+	if s.MinY() != 1.0 {
+		t.Errorf("minY = %v", s.MinY())
+	}
+	if got := s.YAt(1000); got != 2.5 {
+		t.Errorf("YAt(1000) = %v", got)
+	}
+	if got := s.YAt(1e9); got != 3.9 {
+		t.Errorf("YAt(inf) = %v (want last)", got)
+	}
+	if !almost(s.MeanYOver(8000), 4.0, 1e-12) {
+		t.Errorf("MeanYOver = %v", s.MeanYOver(8000))
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	x, y := s.PeakY()
+	if x != 0 || y != 0 || s.MeanY() != 0 || s.MinY() != 0 || s.YAt(5) != 0 || s.MeanYOver(0) != 0 {
+		t.Error("empty series should return zeros")
+	}
+}
+
+type fakeBusy struct {
+	busy units.Time
+	n    int
+}
+
+func (f fakeBusy) TotalBusy() units.Time { return f.busy }
+func (f fakeBusy) NumCPU() int           { return f.n }
+
+func TestCPUSampler(t *testing.T) {
+	c := NewCPUSampler(5 * units.Second)
+	if c.Interval() != 5*units.Second {
+		t.Error("interval")
+	}
+	// CPU busy 0.9s out of each 1s window: load 0.9.
+	r := fakeBusy{n: 2}
+	for i := 0; i <= 10; i++ {
+		r.busy = units.Time(float64(i) * 0.9 * float64(units.Second))
+		c.Sample(units.Time(i)*units.Second, r)
+	}
+	if !almost(c.Load(), 0.9, 1e-9) {
+		t.Errorf("load = %v, want 0.9", c.Load())
+	}
+	if c.Samples() != 10 {
+		t.Errorf("samples = %d", c.Samples())
+	}
+	if !almost(c.PeakLoad(), 0.9, 1e-9) {
+		t.Errorf("peak = %v", c.PeakLoad())
+	}
+}

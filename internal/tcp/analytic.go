@@ -1,0 +1,64 @@
+package tcp
+
+import (
+	"tengig/internal/units"
+)
+
+// RecoveryTime returns how long AIMD congestion avoidance takes to return
+// to the pre-loss transmission rate after a single packet loss, assuming
+// the congestion window equaled the bandwidth-delay product when the packet
+// was lost (the paper's Table 1). The window halves, then grows one segment
+// per round-trip time:
+//
+//	T = (BDP / (2 * MSS)) * RTT
+func RecoveryTime(bw units.Bandwidth, rtt units.Time, mss int) units.Time {
+	if bw <= 0 || rtt <= 0 || mss <= 0 {
+		return 0
+	}
+	bdpBytes := float64(bw) / 8 * rtt.Seconds()
+	segments := bdpBytes / float64(mss)
+	rtts := segments / 2
+	return units.Time(rtts * float64(rtt))
+}
+
+// MSSAlignedWindow returns the usable window after Linux's MSS alignment:
+// the window rounded down to a whole multiple of the MSS (the paper's
+// footnote 6: advertised_window = (int)(available_window / MSS) * MSS).
+func MSSAlignedWindow(window, mss int) int {
+	if mss <= 0 || window <= 0 {
+		return 0
+	}
+	return window / mss * mss
+}
+
+// WindowEfficiency returns the fraction of a window that survives MSS
+// alignment — Figure 8's "best possible window due to MSS" over the ideal
+// window. A ~26 KB ideal window with a ~9 KB MSS keeps only 18 KB (69%).
+func WindowEfficiency(window, mss int) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(MSSAlignedWindow(window, mss)) / float64(window)
+}
+
+// SenderUsableWindow composes the paper's §3.5.1 worked example: the
+// receiver aligns its advertisement to its own MSS estimate, then the
+// sender aligns its congestion window to its (possibly different) MSS.
+// With 33000 bytes of receive buffer, a receiver MSS of 8948 and a sender
+// MSS of 8960, the advertised window is 26844 and the sender can use only
+// 17920 bytes — "nearly 50% smaller than the actual available socket
+// memory".
+func SenderUsableWindow(rcvBuf, rcvMSS, sndMSS int) (advertised, usable int) {
+	advertised = MSSAlignedWindow(rcvBuf, rcvMSS)
+	usable = MSSAlignedWindow(advertised, sndMSS)
+	return advertised, usable
+}
+
+// IdealWindow returns the bandwidth-delay product in bytes — the window
+// needed to fill a path.
+func IdealWindow(bw units.Bandwidth, rtt units.Time) int {
+	if bw <= 0 || rtt <= 0 {
+		return 0
+	}
+	return int(float64(bw) / 8 * rtt.Seconds())
+}

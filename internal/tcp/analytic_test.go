@@ -1,0 +1,113 @@
+package tcp
+
+import (
+	"testing"
+
+	"tengig/internal/units"
+)
+
+func TestRecoveryTimeTable1Anchors(t *testing.T) {
+	// The two unambiguous Table 1 rows (Geneva-Chicago, RTT 120 ms,
+	// MSS 1460): 1 Gb/s -> ~10 min, 10 Gb/s -> ~1 hr 42 min.
+	rtt := 120 * units.Millisecond
+	oneG := RecoveryTime(units.FromGbps(1), rtt, 1460)
+	if oneG < 9*units.Minute || oneG > 11*units.Minute {
+		t.Errorf("1 Gb/s recovery = %v, want ~10 min", oneG)
+	}
+	tenG := RecoveryTime(units.FromGbps(10), rtt, 1460)
+	if tenG < 100*units.Minute || tenG > 105*units.Minute {
+		t.Errorf("10 Gb/s recovery = %v, want ~1h42m", tenG)
+	}
+}
+
+func TestRecoveryTimeLANIsMilliseconds(t *testing.T) {
+	// Table 1's LAN row: at 10 Gb/s with sub-millisecond RTT, recovery is
+	// on the order of milliseconds — loss is harmless in the LAN.
+	got := RecoveryTime(units.FromGbps(10), 100*units.Microsecond, 1460)
+	if got > 10*units.Millisecond {
+		t.Errorf("LAN recovery = %v, want < 10ms", got)
+	}
+}
+
+func TestRecoveryTimeMSSEffect(t *testing.T) {
+	// Larger MSS recovers proportionally faster (fewer segments to regrow).
+	rtt := 180 * units.Millisecond
+	small := RecoveryTime(units.FromGbps(10), rtt, 1460)
+	large := RecoveryTime(units.FromGbps(10), rtt, 8960)
+	ratio := float64(small) / float64(large)
+	want := 8960.0 / 1460.0
+	if ratio < want*0.99 || ratio > want*1.01 {
+		t.Errorf("MSS scaling ratio = %v, want %v", ratio, want)
+	}
+}
+
+func TestRecoveryTimeGenevaSunnyvale(t *testing.T) {
+	// Geneva-Sunnyvale (RTT 180 ms): 10 Gb/s, MSS 1460 -> ~3h51m.
+	got := RecoveryTime(units.FromGbps(10), 180*units.Millisecond, 1460)
+	if got < 3*units.Hour+45*units.Minute || got > 4*units.Hour {
+		t.Errorf("recovery = %v, want ~3h51m", got)
+	}
+}
+
+func TestRecoveryTimeDegenerate(t *testing.T) {
+	if RecoveryTime(0, units.Second, 1460) != 0 ||
+		RecoveryTime(units.GbitPerSecond, 0, 1460) != 0 ||
+		RecoveryTime(units.GbitPerSecond, units.Second, 0) != 0 {
+		t.Error("degenerate inputs should return 0")
+	}
+}
+
+// TestRecoveryTimeMatchesSimulation validates the Table 1 formula against
+// the actual TCP implementation: run a flow at equilibrium on a
+// window-capped path, inject one loss, and measure how long cwnd takes to
+// return to its pre-loss value.
+func TestRecoveryTimeMatchesSimulation(t *testing.T) {
+	// Scaled-down WAN: 10 ms RTT so the test completes quickly.
+	rtt := 10 * units.Millisecond
+	mss := 1448 // 1500 MTU with timestamps
+	bw := units.FromGbps(1)
+	bdp := IdealWindow(bw, rtt)
+	targetSegs := bdp / mss // window at "link capacity"
+
+	cfg := lanConfig(1500)
+	cfg.WindowScale = true
+	cfg.SndBuf = 64 << 20
+	cfg.RcvBuf = 64 << 20
+	cfg.TruesizeAccounting = false
+	p := newPair(cfg, cfg, rtt/2)
+	p.connect(t)
+	newSink(p.b)
+
+	var lossAt units.Time
+	var recoveredAt units.Time
+	dropped := false
+	p.dropAB = func(n int64, seg *Segment) bool {
+		if !dropped && seg.Len > 0 && p.a.Cwnd() >= targetSegs {
+			dropped = true
+			lossAt = p.eng.Now()
+			return true
+		}
+		return false
+	}
+	newPump(p.a, 1<<40)
+	// Drive until loss, then until cwnd regrows to the pre-loss target.
+	for i := 0; i < 100000; i++ {
+		p.run(50 * units.Millisecond)
+		if dropped && recoveredAt == 0 && !p.a.InFastRecovery() && p.a.Cwnd() >= targetSegs {
+			recoveredAt = p.eng.Now()
+			break
+		}
+	}
+	if !dropped {
+		t.Fatal("flow never reached target window")
+	}
+	if recoveredAt == 0 {
+		t.Fatal("never recovered")
+	}
+	measured := recoveredAt - lossAt
+	predicted := RecoveryTime(bw, rtt, mss)
+	ratio := measured.Seconds() / predicted.Seconds()
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("measured recovery %v vs predicted %v (ratio %.2f)", measured, predicted, ratio)
+	}
+}

@@ -1,0 +1,515 @@
+package tcp
+
+import (
+	"fmt"
+
+	"tengig/internal/alloc"
+	"tengig/internal/ethernet"
+	"tengig/internal/ipv4"
+	"tengig/internal/sim"
+	"tengig/internal/units"
+)
+
+// Env provides the simulated clock and timer facility (satisfied by a thin
+// adapter over sim.Engine; see NewEnv).
+type Env interface {
+	Now() units.Time
+	After(d units.Time, f func()) *sim.Timer
+}
+
+// engineEnv adapts a sim.Engine to Env.
+type engineEnv struct{ eng *sim.Engine }
+
+func (e engineEnv) Now() units.Time                         { return e.eng.Now() }
+func (e engineEnv) After(d units.Time, f func()) *sim.Timer { return e.eng.After(d, f) }
+
+// NewEnv wraps a sim.Engine as a tcp.Env.
+func NewEnv(eng *sim.Engine) Env { return engineEnv{eng} }
+
+// Output transmits a segment toward the peer. The host layer charges stack
+// and device costs and eventually calls the peer Conn's Deliver.
+type Output func(seg *Segment)
+
+// State is the connection state (simplified TCP state machine: the
+// simulator does not model TIME_WAIT or simultaneous open).
+type State int
+
+// Connection states.
+const (
+	StateClosed State = iota
+	StateListen
+	StateSynSent
+	StateSynRcvd
+	StateEstablished
+	StateFinSent
+	StateDone
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateListen:
+		return "listen"
+	case StateSynSent:
+		return "syn-sent"
+	case StateSynRcvd:
+		return "syn-rcvd"
+	case StateEstablished:
+		return "established"
+	case StateFinSent:
+		return "fin-sent"
+	case StateDone:
+		return "done"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Stats counts protocol events for the experiment harness.
+type Stats struct {
+	SegsOut, SegsIn int64
+	DataSegsOut     int64
+	AcksOut         int64
+	BytesSent       int64 // payload bytes emitted, including retransmits
+	BytesAcked      int64
+	BytesReceived   int64 // in-order payload delivered to the receive queue
+	Retransmits     int64 // segments re-sent for any reason
+	FastRetransmits int64
+	Timeouts        int64
+	DupAcksIn       int64
+	DelayedAcks     int64
+	ImmediateAcks   int64
+	WindowProbes    int64
+	OutOfOrderSegs  int64
+	RcvBufDrops     int64
+	CwndLimited     int64 // send attempts stopped by cwnd
+	RwndLimited     int64 // send attempts stopped by the peer window
+	AppLimited      int64 // send attempts stopped by lack of data
+}
+
+// rcvChunk is in-order received data awaiting an application read.
+type rcvChunk struct {
+	payload  int64
+	truesize int64
+}
+
+// Conn is one TCP endpoint.
+type Conn struct {
+	env  Env
+	cfg  Config
+	out  Output
+	name string
+
+	state State
+
+	// Negotiated parameters.
+	peerMSS   int
+	tsOK      bool
+	sackOK    bool
+	sndWScale int // shift to apply to windows the peer advertises
+	rcvWScale int // shift we advertise (quantizes our window)
+
+	// Send state. Stream offsets are absolute from 0; SYN/FIN do not
+	// consume sequence space in this model.
+	appWritten int64
+	sndUna     int64
+	sndNxt     int64
+	retrq      []span
+	sacked     []span // peer-SACKed ranges above sndUna
+	retxNext   int64  // next hole to repair during SACK recovery
+	cwnd       int    // segments
+	cwndCnt    int
+	ssthresh   int // segments
+	dupAcks    int
+	fastRec    bool
+	recoverSeq int64
+
+	srtt, rttvar units.Time
+	rttValid     bool
+	rto          units.Time
+	rtoTimer     *sim.Timer
+	rttSeq       int64
+	rttAt        units.Time
+	rttPending   bool
+
+	peerWndEdge int64 // highest sndUna+window seen
+	persistTmr  *sim.Timer
+
+	finQueued bool
+	finSent   bool
+
+	// Receive state.
+	rcvNxt      int64
+	ooo         []span
+	oooTrue     int64
+	rcvq        []rcvChunk
+	rcvqAvail   int64 // payload bytes readable
+	rcvqTrue    int64 // buffer space charged (truesize accounting)
+	advEdge     int64 // highest rcvNxt+window advertised (never shrinks)
+	delackTmr   *sim.Timer
+	delackCnt   int
+	quickAcks   int
+	rcvMSSEst   int
+	rcvSsthresh int64 // receive-window slow start threshold (0 = unseeded)
+	lastTSVal   units.Time
+	hasTSVal    bool
+	peerFin     bool
+	peerFinSeq  int64
+
+	onReadable func()
+	onWritable func()
+
+	// State tracing (EnableStateTrace).
+	stateTrace    []StatePoint
+	stateTraceMax int
+
+	// Stats is the event counter block, exported for harness inspection.
+	Stats Stats
+}
+
+// New creates an endpoint in StateClosed. Panics on invalid config.
+func New(env Env, name string, cfg Config, out Output) *Conn {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
+	if out == nil {
+		panic("tcp: nil output")
+	}
+	// The receiver's initial MSS estimate is min(own advertised MSS, 536),
+	// like tcp_initialize_rcv_mss — never larger than what this endpoint
+	// could itself carry, or window alignment would round everything to 0.
+	est := cfg.MSS()
+	if est > defaultMinRcvMSS {
+		est = defaultMinRcvMSS
+	}
+	c := &Conn{
+		env:       env,
+		cfg:       cfg,
+		out:       out,
+		name:      name,
+		peerMSS:   defaultMinRcvMSS,
+		cwnd:      cfg.InitialCwnd,
+		ssthresh:  1 << 20, // effectively unbounded until the first loss
+		rto:       cfg.RTOInit,
+		rcvMSSEst: est,
+		quickAcks: cfg.QuickAcks,
+	}
+	return c
+}
+
+// Name returns the endpoint's diagnostic name.
+func (c *Conn) Name() string { return c.name }
+
+// State returns the connection state.
+func (c *Conn) State() State { return c.state }
+
+// Config returns the endpoint configuration.
+func (c *Conn) Config() Config { return c.cfg }
+
+// SetReadable registers the callback invoked when received data becomes
+// available (or EOF arrives).
+func (c *Conn) SetReadable(f func()) { c.onReadable = f }
+
+// SetWritable registers the callback invoked when send-buffer space opens.
+func (c *Conn) SetWritable(f func()) { c.onWritable = f }
+
+// MSS returns the effective per-segment payload: the minimum of the local
+// and peer MSS, less the timestamp option if negotiated. Before the
+// handshake completes it reflects the conservative default peer MSS.
+func (c *Conn) MSS() int {
+	m := c.cfg.MSS()
+	if c.peerMSS > 0 && c.peerMSS < m {
+		m = c.peerMSS
+	}
+	if c.tsOK {
+		m -= TimestampOptLen
+	}
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// Cwnd returns the congestion window in segments.
+func (c *Conn) Cwnd() int { return c.cwnd }
+
+// Ssthresh returns the slow-start threshold in segments.
+func (c *Conn) Ssthresh() int { return c.ssthresh }
+
+// InFastRecovery reports whether the sender is in fast recovery.
+func (c *Conn) InFastRecovery() bool { return c.fastRec }
+
+// RTO returns the current retransmission timeout.
+func (c *Conn) RTO() units.Time { return c.rto }
+
+// SRTT returns the smoothed RTT estimate (0 before the first sample).
+func (c *Conn) SRTT() units.Time { return c.srtt }
+
+// InFlight returns unacknowledged bytes.
+func (c *Conn) InFlight() int64 { return c.sndNxt - c.sndUna }
+
+// PeerWindow returns the usable peer-advertised window beyond sndNxt.
+func (c *Conn) PeerWindow() int64 { return c.peerWndEdge - c.sndNxt }
+
+// SndBufFree returns free send-buffer space.
+func (c *Conn) SndBufFree() int64 {
+	free := int64(c.cfg.SndBuf) - (c.appWritten - c.sndUna)
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// Available returns payload bytes ready for the application to read.
+func (c *Conn) Available() int64 { return c.rcvqAvail }
+
+// EOF reports whether the peer's FIN has been delivered in order and all
+// data consumed.
+func (c *Conn) EOF() bool {
+	return c.peerFin && c.rcvNxt >= c.peerFinSeq && c.rcvqAvail == 0
+}
+
+// BytesAckedAll reports whether everything written (and the FIN) is acked.
+func (c *Conn) sendDone() bool {
+	return c.finQueued && c.finSent && c.sndUna >= c.appWritten
+}
+
+// Connect starts the active side of the handshake.
+func (c *Conn) Connect() {
+	if c.state != StateClosed {
+		panic("tcp: Connect on " + c.state.String())
+	}
+	c.state = StateSynSent
+	c.rttAt = c.env.Now() // SYN round trip seeds the RTT estimate
+	c.emitSYN(false)
+}
+
+// Listen makes this endpoint accept an incoming handshake.
+func (c *Conn) Listen() {
+	if c.state != StateClosed {
+		panic("tcp: Listen on " + c.state.String())
+	}
+	c.state = StateListen
+}
+
+// Write accepts up to n bytes from the application into the send buffer and
+// returns the count accepted (0 if the buffer is full). The host layer is
+// responsible for charging the copy cost of the accepted bytes.
+func (c *Conn) Write(n int) int {
+	if n < 0 {
+		panic("tcp: negative write")
+	}
+	if c.finQueued {
+		return 0
+	}
+	accept := int64(n)
+	if free := c.SndBufFree(); accept > free {
+		accept = free
+	}
+	if accept <= 0 {
+		return 0
+	}
+	c.appWritten += accept
+	c.trySend()
+	return int(accept)
+}
+
+// Read consumes up to max bytes from the receive queue, returning the count
+// consumed. Freed buffer space may trigger a window-update acknowledgment.
+func (c *Conn) Read(max int64) int64 {
+	if max <= 0 {
+		return 0
+	}
+	beforeFree := c.windowFreeSpace()
+	var got int64
+	for max > 0 && len(c.rcvq) > 0 {
+		ch := &c.rcvq[0]
+		take := ch.payload
+		if take > max {
+			take = max
+		}
+		// Buffer space frees proportionally to the chunk's truesize.
+		freed := ch.truesize * take / ch.payload
+		ch.payload -= take
+		ch.truesize -= freed
+		c.rcvqAvail -= take
+		c.rcvqTrue -= freed
+		got += take
+		max -= take
+		if ch.payload == 0 {
+			c.rcvqTrue -= ch.truesize // release any rounding remainder
+			c.rcvq = c.rcvq[1:]
+		}
+	}
+	if got > 0 {
+		// Window update: if the usable window was closed (or below one
+		// estimated MSS) and reading reopened it, tell the sender now
+		// rather than waiting for more data (avoids zero-window deadlock).
+		after := c.windowFreeSpace()
+		if beforeFree < int64(c.rcvMSSEst) && after >= int64(c.rcvMSSEst) {
+			c.sendAck(false)
+		}
+	}
+	return got
+}
+
+// Close queues a FIN after all written data.
+func (c *Conn) Close() {
+	if c.finQueued {
+		return
+	}
+	c.finQueued = true
+	c.trySend()
+}
+
+func (c *Conn) notifyReadable() {
+	if c.onReadable != nil {
+		c.onReadable()
+	}
+}
+
+func (c *Conn) notifyWritable() {
+	if c.onWritable != nil && c.SndBufFree() > 0 {
+		c.onWritable()
+	}
+}
+
+// truesize returns the receive-buffer space charged for a segment of
+// payload p: allocator block size under truesize accounting, else payload.
+func (c *Conn) truesize(p int, hdr int) int64 {
+	if !c.cfg.TruesizeAccounting {
+		return int64(p)
+	}
+	return alloc.BlockFor(p + hdr + ipv4.HeaderLen + ethernet.HeaderLen)
+}
+
+// emitSYN sends SYN (or SYN|ACK).
+func (c *Conn) emitSYN(ack bool) {
+	seg := &Segment{
+		Seq:       0,
+		SYN:       true,
+		MSSOpt:    c.cfg.MSS(),
+		WScaleOpt: -1,
+		SACKPerm:  c.cfg.SACK,
+		Wnd:       c.advertiseWindow(),
+	}
+	if c.cfg.WindowScale {
+		seg.WScaleOpt = c.cfg.WScale()
+	}
+	if c.cfg.Timestamps {
+		seg.HasTS = true
+		seg.TSVal = c.env.Now()
+		seg.TSEcr = c.lastTSVal
+	}
+	if ack {
+		seg.Ack = 0
+	}
+	c.Stats.SegsOut++
+	c.out(seg)
+}
+
+// Deliver processes an arriving segment. The host layer calls this after
+// charging receive-path costs.
+func (c *Conn) Deliver(seg *Segment) {
+	c.Stats.SegsIn++
+	switch c.state {
+	case StateListen:
+		if seg.SYN {
+			c.acceptOptions(seg)
+			c.state = StateSynRcvd
+			c.emitSYN(true)
+		}
+		return
+	case StateSynSent:
+		if seg.SYN {
+			c.acceptOptions(seg)
+			c.state = StateEstablished
+			c.sampleRTT(c.env.Now() - c.rttAt) // SYN round trip
+			c.updatePeerWindow(seg)
+			c.sendAck(false)
+			c.notifyWritable()
+			c.trySend()
+		}
+		return
+	case StateSynRcvd:
+		c.state = StateEstablished
+		c.notifyWritable()
+		// Fall through to normal processing of this segment.
+	case StateClosed:
+		return
+	}
+
+	if seg.HasTS {
+		c.lastTSVal = seg.TSVal
+		c.hasTSVal = true
+	}
+	// Ack processing sees the pre-update window edge so that pure window
+	// updates are not miscounted as duplicate acks.
+	c.processAck(seg)
+	c.updatePeerWindow(seg)
+	if seg.Len > 0 {
+		c.receiveData(seg)
+	}
+	if seg.FIN {
+		c.handleFIN(seg)
+	}
+	c.trySend()
+}
+
+// acceptOptions ingests SYN options.
+func (c *Conn) acceptOptions(seg *Segment) {
+	if seg.MSSOpt > 0 {
+		c.peerMSS = seg.MSSOpt
+	}
+	c.tsOK = c.cfg.Timestamps && seg.HasTS
+	c.sackOK = c.cfg.SACK && seg.SACKPerm
+	if c.cfg.WindowScale && seg.WScaleOpt >= 0 {
+		c.sndWScale = seg.WScaleOpt
+		c.rcvWScale = c.cfg.WScale()
+	} else {
+		c.sndWScale = 0
+		c.rcvWScale = 0
+	}
+	// Initialize the peer window edge from the SYN.
+	c.peerWndEdge = int64(seg.Wnd)
+	// Under RcvMSSOwn the receiver aligns its window to its own device MSS
+	// — which need not match the sender's actual segment size (the paper's
+	// footnote 8 mismatch). Observed mode starts from the conservative
+	// default until data arrives.
+	if c.cfg.RcvMSS == RcvMSSOwn {
+		own := c.cfg.MSS()
+		if c.tsOK {
+			own -= TimestampOptLen
+		}
+		c.rcvMSSEst = own
+	}
+}
+
+// updatePeerWindow tracks the highest advertised right edge. Segment.Wnd
+// carries the already-descaled byte value (the receiver's quantization from
+// the 16-bit field and shift is applied in advertiseWindow). Receivers in
+// this simulator never shrink their window, so the maximum is safe and
+// immune to segment reordering.
+func (c *Conn) updatePeerWindow(seg *Segment) {
+	if edge := seg.Ack + int64(seg.Wnd); edge > c.peerWndEdge {
+		c.peerWndEdge = edge
+		c.cancelPersist()
+	}
+}
+
+func (c *Conn) handleFIN(seg *Segment) {
+	finSeq := seg.Seq + int64(seg.Len)
+	if !c.peerFin || finSeq > c.peerFinSeq {
+		c.peerFin = true
+		c.peerFinSeq = finSeq
+	}
+	if c.rcvNxt >= c.peerFinSeq {
+		c.sendAck(false)
+		c.notifyReadable() // EOF is readable
+		if c.sendDone() {
+			c.state = StateDone
+		}
+	}
+}

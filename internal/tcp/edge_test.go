@@ -1,0 +1,146 @@
+package tcp
+
+import (
+	"testing"
+
+	"tengig/internal/units"
+)
+
+// API edge cases and misuse guards.
+
+func TestWriteAfterCloseRejected(t *testing.T) {
+	p := newPair(lanConfig(1500), lanConfig(1500), time10us())
+	p.connect(t)
+	p.a.Write(100)
+	p.a.Close()
+	if got := p.a.Write(100); got != 0 {
+		t.Errorf("Write after Close accepted %d bytes", got)
+	}
+}
+
+func TestWriteNegativePanics(t *testing.T) {
+	p := newPair(lanConfig(1500), lanConfig(1500), time10us())
+	p.connect(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	p.a.Write(-1)
+}
+
+func TestReadZeroAndNegative(t *testing.T) {
+	p := newPair(lanConfig(1500), lanConfig(1500), time10us())
+	p.connect(t)
+	if p.b.Read(0) != 0 || p.b.Read(-5) != 0 {
+		t.Error("degenerate reads should return 0")
+	}
+}
+
+func TestConnectTwicePanics(t *testing.T) {
+	p := newPair(lanConfig(1500), lanConfig(1500), time10us())
+	p.connect(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	p.a.Connect()
+}
+
+func TestListenAfterConnectPanics(t *testing.T) {
+	p := newPair(lanConfig(1500), lanConfig(1500), time10us())
+	p.connect(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	p.b.Listen()
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	p := newPair(lanConfig(1500), lanConfig(1500), time10us())
+	p.connect(t)
+	p.a.Close()
+	p.a.Close() // must not panic or emit a second FIN
+	p.run(units.Second)
+	if p.a.State() != StateDone && p.a.State() != StateFinSent {
+		t.Errorf("state after double close: %v", p.a.State())
+	}
+}
+
+func TestZeroByteTransferCloses(t *testing.T) {
+	// Close with no data: FIN handshake alone completes the connection.
+	p := newPair(lanConfig(1500), lanConfig(1500), time10us())
+	p.connect(t)
+	newSink(p.b)
+	p.a.Close()
+	p.b.Close()
+	p.run(units.Second)
+	if !p.b.EOF() || !p.a.EOF() {
+		t.Error("EOF not seen on zero-byte close")
+	}
+}
+
+func TestOneByteTransfer(t *testing.T) {
+	p := newPair(lanConfig(1500), lanConfig(1500), time10us())
+	p.connect(t)
+	sink := newSink(p.b)
+	newPump(p.a, 1)
+	p.run(units.Second)
+	if sink.total != 1 {
+		t.Fatalf("received %d", sink.total)
+	}
+}
+
+func TestTinyMSSStillWorks(t *testing.T) {
+	// An 88-byte MTU gives a pathological MSS; the stack must still move
+	// data correctly (many tiny segments).
+	cfg := lanConfig(88)
+	cfg.Timestamps = false // 88-40=48-byte MSS; timestamps would eat 12 more
+	p := newPair(cfg, cfg, time10us())
+	p.connect(t)
+	sink := newSink(p.b)
+	newPump(p.a, 10000)
+	p.run(30 * units.Second)
+	if sink.total != 10000 {
+		t.Fatalf("received %d of 10000 (MSS %d)", sink.total, p.a.MSS())
+	}
+}
+
+func TestAsymmetricMTUUsesMinimum(t *testing.T) {
+	ca := lanConfig(16000)
+	cb := lanConfig(1500)
+	p := newPair(ca, cb, time10us())
+	p.connect(t)
+	if got := p.a.MSS(); got != 1448 {
+		t.Errorf("a.MSS = %d, want 1448 (min of both sides, with ts)", got)
+	}
+	sink := newSink(p.b)
+	newPump(p.a, 100000)
+	p.run(5 * units.Second)
+	if sink.total != 100000 {
+		t.Fatalf("received %d", sink.total)
+	}
+}
+
+func TestStatsBytesConservation(t *testing.T) {
+	p := newPair(lanConfig(9000), lanConfig(9000), time10us())
+	p.connect(t)
+	sink := newSink(p.b)
+	const total = 1 << 20
+	newPump(p.a, total)
+	p.run(5 * units.Second)
+	if sink.total != total {
+		t.Fatal("incomplete")
+	}
+	// Lossless: bytes sent == bytes acked == bytes received == total.
+	s := p.a.Stats
+	if s.BytesSent != total || s.BytesAcked != total {
+		t.Errorf("sent %d acked %d, want %d", s.BytesSent, s.BytesAcked, total)
+	}
+	if p.b.Stats.BytesReceived != total {
+		t.Errorf("received %d", p.b.Stats.BytesReceived)
+	}
+}

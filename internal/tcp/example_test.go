@@ -1,0 +1,39 @@
+package tcp_test
+
+import (
+	"fmt"
+
+	"tengig/internal/tcp"
+	"tengig/internal/units"
+)
+
+// The Table 1 computation: how long AIMD takes to recover from one lost
+// packet on the paper's transatlantic path.
+func ExampleRecoveryTime() {
+	t := tcp.RecoveryTime(10*units.GbitPerSecond, 120*units.Millisecond, 1460)
+	fmt.Println(t)
+	// Output: 1h42m
+}
+
+// Figure 8's arithmetic: a ~26 KB ideal window with a jumbo MSS keeps only
+// two whole segments.
+func ExampleMSSAlignedWindow() {
+	fmt.Println(tcp.MSSAlignedWindow(26*1024, 8948))
+	// Output: 17896
+}
+
+// The §3.5.1 worked example: a 33,000-byte receive buffer shrinks to a
+// 26,844-byte advertisement (receiver MSS 8948), of which a sender with MSS
+// 8960 can use only 17,920 bytes.
+func ExampleSenderUsableWindow() {
+	adv, usable := tcp.SenderUsableWindow(33000, 8948, 8960)
+	fmt.Println(adv, usable)
+	// Output: 26844 17920
+}
+
+// The bandwidth-delay product of the record run's path.
+func ExampleIdealWindow() {
+	bdp := tcp.IdealWindow(units.FromGbps(2.5), 180*units.Millisecond)
+	fmt.Printf("%.1f MB\n", float64(bdp)/1e6)
+	// Output: 56.2 MB
+}

@@ -1,0 +1,101 @@
+package tcp
+
+import (
+	"testing"
+
+	"tengig/internal/sim"
+	"tengig/internal/units"
+)
+
+// pair is an in-package test harness: two endpoints joined by a
+// fixed-delay, infinite-bandwidth pipe with optional loss injection.
+// Protocol behavior (windows, recovery, acking) is tested here in
+// isolation; resource-accurate paths are exercised in the host package.
+type pair struct {
+	eng   *sim.Engine
+	a, b  *Conn
+	delay units.Time
+	// dropAB/dropBA decide per-segment loss; nil means no loss.
+	dropAB func(n int64, seg *Segment) bool
+	dropBA func(n int64, seg *Segment) bool
+	nAB    int64
+	nBA    int64
+}
+
+func newPair(cfgA, cfgB Config, delay units.Time) *pair {
+	eng := sim.NewEngine(42)
+	p := &pair{eng: eng, delay: delay}
+	env := NewEnv(eng)
+	p.a = New(env, "a", cfgA, func(seg *Segment) {
+		p.nAB++
+		if p.dropAB != nil && p.dropAB(p.nAB, seg) {
+			return
+		}
+		s := *seg
+		eng.After(delay, func() { p.b.Deliver(&s) })
+	})
+	p.b = New(env, "b", cfgB, func(seg *Segment) {
+		p.nBA++
+		if p.dropBA != nil && p.dropBA(p.nBA, seg) {
+			return
+		}
+		s := *seg
+		eng.After(delay, func() { p.a.Deliver(&s) })
+	})
+	return p
+}
+
+// connect performs the handshake and runs the engine until quiescent.
+func (p *pair) connect(t *testing.T) {
+	t.Helper()
+	p.b.Listen()
+	p.a.Connect()
+	p.eng.Run() // the handshake leaves no pending timers
+	if p.a.State() != StateEstablished || p.b.State() != StateEstablished {
+		t.Fatalf("handshake failed: a=%v b=%v", p.a.State(), p.b.State())
+	}
+}
+
+// sinkReader drains b's receive queue as data arrives, counting bytes.
+type sinkReader struct {
+	c     *Conn
+	total int64
+}
+
+func newSink(c *Conn) *sinkReader {
+	s := &sinkReader{c: c}
+	c.SetReadable(func() { s.total += c.Read(1 << 30) })
+	return s
+}
+
+// pump writes total bytes from a as buffer space allows.
+type pump struct {
+	c       *Conn
+	left    int
+	written int
+}
+
+func newPump(c *Conn, total int) *pump {
+	p := &pump{c: c, left: total}
+	push := func() {
+		for p.left > 0 {
+			n := p.c.Write(p.left)
+			if n == 0 {
+				return
+			}
+			p.left -= n
+			p.written += n
+		}
+		if p.left == 0 {
+			p.c.Close()
+		}
+	}
+	c.SetWritable(push)
+	push()
+	return p
+}
+
+// run drives the engine for up to d more simulated time.
+func (p *pair) run(d units.Time) {
+	p.eng.RunUntil(p.eng.Now() + d)
+}

@@ -1,0 +1,245 @@
+package tcp
+
+// winFromSpace converts raw buffer space into advertisable window,
+// reserving 1/2^AdvWinScale for metadata overhead (Linux's
+// tcp_win_from_space with tcp_adv_win_scale).
+func (c *Conn) winFromSpace(space int64) int64 {
+	if space <= 0 {
+		return 0
+	}
+	return space - space>>uint(c.cfg.AdvWinScale)
+}
+
+// advMSS is the MSS this endpoint advertised, net of timestamps — the unit
+// of receive-window growth.
+func (c *Conn) advMSS() int {
+	m := c.cfg.MSS()
+	if c.tsOK {
+		m -= TimestampOptLen
+	}
+	return m
+}
+
+// maxAdvWindow is the largest window this buffer can ever advertise.
+func (c *Conn) maxAdvWindow() int64 { return c.winFromSpace(int64(c.cfg.RcvBuf)) }
+
+// initRcvSsthresh seeds the receive-window slow start (Linux's
+// tcp_select_initial_window shape: a few segments to start).
+func (c *Conn) initRcvSsthresh() int64 {
+	mss := int64(c.advMSS())
+	init := 4 * mss
+	if mss > 3*1460 {
+		init = 2 * mss
+	}
+	if max := c.maxAdvWindow(); init > max {
+		init = max
+	}
+	return init
+}
+
+// growRcvWindow is Linux's tcp_grow_window: each in-order segment earns the
+// advertisement more room — a full 2*MSS when the segment used its buffer
+// block efficiently, proportionally less when truesize dwarfs payload (a
+// 9000-byte MTU frame in a 16 KB block earns roughly half credit).
+func (c *Conn) growRcvWindow(payload int64, truesize int64) {
+	if !c.cfg.RcvWindowSlowStart {
+		return
+	}
+	max := c.maxAdvWindow()
+	if c.rcvSsthresh >= max {
+		return
+	}
+	incr := int64(2 * c.advMSS())
+	if truesize > 0 && c.winFromSpace(truesize) > payload {
+		incr = incr * payload / truesize
+	}
+	c.rcvSsthresh += incr
+	if c.rcvSsthresh > max {
+		c.rcvSsthresh = max
+	}
+}
+
+// windowFreeSpace returns the advertisable receive window before MSS
+// alignment: buffer space net of queued data (truesize accounting), through
+// the advertisement reserve, capped by the receive-window slow start.
+func (c *Conn) windowFreeSpace() int64 {
+	used := c.rcvqTrue + c.oooTrue
+	if c.cfg.BacklogFn != nil {
+		used += c.cfg.BacklogFn()
+	}
+	free := c.winFromSpace(int64(c.cfg.RcvBuf) - used)
+	if free < 0 {
+		free = 0
+	}
+	if c.cfg.RcvWindowSlowStart {
+		if c.rcvSsthresh == 0 {
+			c.rcvSsthresh = c.initRcvSsthresh()
+		}
+		if free > c.rcvSsthresh {
+			free = c.rcvSsthresh
+		}
+	}
+	return free
+}
+
+// advertiseWindow computes the window field for an outgoing segment,
+// applying the Linux behaviors under study:
+//
+//  1. SWS avoidance keeps the advertisement MSS-aligned:
+//     window = (free / rcv_mss_estimate) * rcv_mss_estimate  (footnote 6),
+//  2. the window's right edge never retreats, and
+//  3. window scaling quantizes the advertisement, losing accuracy as the
+//     shift grows (§3.5.1's "the accuracy of the window diminishes as the
+//     scaling factor increases").
+func (c *Conn) advertiseWindow() int {
+	free := c.windowFreeSpace()
+	if c.cfg.SWSAvoidance {
+		est := int64(c.rcvMSSEst)
+		if est < 1 {
+			est = 1
+		}
+		free = free / est * est
+	}
+	// Never shrink: the advertised right edge is monotone.
+	edge := c.rcvNxt + free
+	if edge < c.advEdge {
+		edge = c.advEdge
+	}
+	wnd := edge - c.rcvNxt
+	// Scaling quantization and 16-bit field limit.
+	wnd = (wnd >> uint(c.rcvWScale)) << uint(c.rcvWScale)
+	if max := int64(MaxWindowUnscaled) << uint(c.rcvWScale); wnd > max {
+		wnd = max
+	}
+	if c.rcvNxt+wnd > c.advEdge {
+		c.advEdge = c.rcvNxt + wnd
+	}
+	return int(wnd)
+}
+
+// AdvertisedWindow exposes the current advertisement for the experiment
+// harness (Figure 8's window audit).
+func (c *Conn) AdvertisedWindow() int { return c.advertiseWindow() }
+
+// RcvMSSEstimate exposes the receiver's estimate of the sender's MSS.
+func (c *Conn) RcvMSSEstimate() int { return c.rcvMSSEst }
+
+// receiveData handles the payload portion of an arriving segment.
+func (c *Conn) receiveData(seg *Segment) {
+	// Update the receiver's estimate of the sender's segment size
+	// (tcp_measure_rcv_mss): track the largest payload observed.
+	if c.cfg.RcvMSS == RcvMSSObserved && seg.Len > c.rcvMSSEst {
+		c.rcvMSSEst = seg.Len
+	}
+
+	end := seg.Seq + int64(seg.Len)
+	switch {
+	case end <= c.rcvNxt:
+		// Entirely old (spurious retransmission): ack immediately.
+		c.sendAck(false)
+		return
+
+	case seg.Seq > c.rcvNxt:
+		// Out of order: beyond the advertised edge is dropped outright
+		// (window probes land here); otherwise queue and send an immediate
+		// duplicate ack to trigger fast retransmit at the sender.
+		c.Stats.OutOfOrderSegs++
+		if end > c.advEdge {
+			c.Stats.RcvBufDrops++
+			c.sendAck(false)
+			return
+		}
+		ts := c.truesize(seg.Len, seg.HeaderLen())
+		if ts > c.windowFreeSpace() {
+			c.Stats.RcvBufDrops++
+			c.sendAck(false)
+			return
+		}
+		c.ooo = mergeSpan(c.ooo, span{seg.Seq, end})
+		c.oooTrue += ts
+		c.sendAck(false)
+		return
+	}
+
+	// In-order (possibly with old overlap to trim).
+	from := seg.Seq
+	if from < c.rcvNxt {
+		from = c.rcvNxt
+	}
+	newBytes := end - from
+	if end > c.advEdge {
+		// Beyond what we advertised (probe or misbehaving sender): trim.
+		trim := end - c.advEdge
+		if trim >= newBytes {
+			c.Stats.RcvBufDrops++
+			c.sendAck(false)
+			return
+		}
+		newBytes -= trim
+		end = c.advEdge
+	}
+	c.rcvNxt = end
+	payload := newBytes
+	truesize := c.truesize(int(newBytes), seg.HeaderLen())
+
+	// Absorb any out-of-order spans now contiguous.
+	for len(c.ooo) > 0 && c.ooo[0].from <= c.rcvNxt {
+		sp := c.ooo[0]
+		c.ooo = c.ooo[1:]
+		if sp.to > c.rcvNxt {
+			gained := sp.to - c.rcvNxt
+			payload += gained
+			c.rcvNxt = sp.to
+		}
+		// Move this span's accounting from the ooo pool into the receive
+		// queue; approximate per-span truesize by draining the pool evenly.
+		share := c.oooTrue
+		if len(c.ooo) > 0 {
+			share = c.oooTrue / int64(len(c.ooo)+1)
+		}
+		c.oooTrue -= share
+		truesize += share
+	}
+	if len(c.ooo) == 0 && c.oooTrue > 0 {
+		truesize += c.oooTrue
+		c.oooTrue = 0
+	}
+
+	c.rcvq = append(c.rcvq, rcvChunk{payload: payload, truesize: truesize})
+	c.rcvqAvail += payload
+	c.rcvqTrue += truesize
+	c.Stats.BytesReceived += payload
+	c.growRcvWindow(payload, truesize)
+
+	c.ackData()
+	c.notifyReadable()
+
+	if c.peerFin && c.rcvNxt >= c.peerFinSeq {
+		c.sendAck(false)
+	}
+}
+
+// ackData applies the acknowledgment policy for newly arrived in-order
+// data: immediate acks while quickack credit lasts or when holes exist,
+// otherwise every second segment, with the delayed-ack timer as backstop.
+func (c *Conn) ackData() {
+	c.delackCnt++
+	switch {
+	case c.quickAcks > 0:
+		c.quickAcks--
+		c.sendAck(false)
+	case len(c.ooo) > 0:
+		c.sendAck(false)
+	case c.delackCnt >= 2:
+		c.sendAck(false)
+	default:
+		if c.delackTmr == nil || !c.delackTmr.Pending() {
+			c.delackTmr = c.env.After(c.cfg.DelAckTimeout, func() {
+				c.delackTmr = nil
+				if c.delackCnt > 0 {
+					c.sendAck(true)
+				}
+			})
+		}
+	}
+}

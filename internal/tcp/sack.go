@@ -1,0 +1,102 @@
+package tcp
+
+// Selective acknowledgments (RFC 2018), enabled by default as in Linux 2.4.
+// The receiver reports its out-of-order spans; the sender keeps a
+// scoreboard of SACKed ranges and, during fast recovery, retransmits the
+// holes below the highest SACKed byte instead of waiting one round trip per
+// hole as NewReno must.
+
+// buildSACKBlocks derives SACK blocks from the receiver's out-of-order
+// queue (up to MaxSACKBlocks, lowest spans first — our sender merges all
+// blocks, so RFC 2018's most-recent-first ordering is immaterial here).
+func (c *Conn) buildSACKBlocks() []SackBlock {
+	if !c.sackOK || len(c.ooo) == 0 {
+		return nil
+	}
+	n := len(c.ooo)
+	if n > MaxSACKBlocks {
+		n = MaxSACKBlocks
+	}
+	blocks := make([]SackBlock, 0, n)
+	for _, sp := range c.ooo[:n] {
+		blocks = append(blocks, SackBlock{From: sp.from, To: sp.to})
+	}
+	return blocks
+}
+
+// ingestSACK merges an acknowledgment's SACK blocks into the sender
+// scoreboard.
+func (c *Conn) ingestSACK(seg *Segment) {
+	if !c.sackOK || len(seg.SACKBlocks) == 0 {
+		return
+	}
+	for _, b := range seg.SACKBlocks {
+		from, to := b.From, b.To
+		if from < c.sndUna {
+			from = c.sndUna
+		}
+		if to > c.sndNxt {
+			to = c.sndNxt
+		}
+		if from < to {
+			c.sacked = mergeSpan(c.sacked, span{from, to})
+		}
+	}
+}
+
+// trimSACK drops scoreboard state below sndUna.
+func (c *Conn) trimSACK() {
+	for len(c.sacked) > 0 && c.sacked[0].to <= c.sndUna {
+		c.sacked = c.sacked[1:]
+	}
+	if len(c.sacked) > 0 && c.sacked[0].from < c.sndUna {
+		c.sacked[0].from = c.sndUna
+	}
+}
+
+// findHole returns the next unSACKed range at or above from that lies below
+// the highest SACKed byte (only such holes are presumed lost), bounded to
+// one MSS.
+func (c *Conn) findHole(from int64) (start int64, length int, ok bool) {
+	if len(c.sacked) == 0 {
+		return 0, 0, false
+	}
+	if from < c.sndUna {
+		from = c.sndUna
+	}
+	for _, sp := range c.sacked {
+		if from < sp.from {
+			end := sp.from
+			if m := from + int64(c.MSS()); end > m {
+				end = m
+			}
+			return from, int(end - from), true
+		}
+		if from < sp.to {
+			from = sp.to
+		}
+	}
+	return 0, 0, false // everything up to the highest SACKed byte is covered
+}
+
+// retransmitHole repairs the next presumed-lost hole during recovery.
+// Reports whether a retransmission was sent.
+func (c *Conn) retransmitHole() bool {
+	start, length, ok := c.findHole(c.retxNext)
+	if !ok {
+		return false
+	}
+	c.emitData(start, length, true)
+	c.retxNext = start + int64(length)
+	return true
+}
+
+// fastRetransmit sends the first repair of a recovery episode, using the
+// scoreboard when available.
+func (c *Conn) fastRetransmit() {
+	c.retxNext = c.sndUna
+	if c.sackOK && c.retransmitHole() {
+		return
+	}
+	c.retransmitHead()
+}

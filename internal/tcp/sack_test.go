@@ -1,0 +1,183 @@
+package tcp
+
+import (
+	"testing"
+
+	"tengig/internal/units"
+)
+
+func sackCfg(on bool) Config {
+	c := lanConfig(1500)
+	c.SndBuf = 1 << 20
+	c.RcvBuf = 1 << 20
+	c.WindowScale = true
+	c.SACK = on
+	return c
+}
+
+func TestSACKNegotiation(t *testing.T) {
+	p := newPair(sackCfg(true), sackCfg(true), time10us())
+	p.connect(t)
+	if !p.a.sackOK || !p.b.sackOK {
+		t.Fatal("SACK not negotiated when both sides enable it")
+	}
+	q := newPair(sackCfg(true), sackCfg(false), time10us())
+	q.connect(t)
+	if q.a.sackOK || q.b.sackOK {
+		t.Fatal("SACK negotiated despite one side refusing")
+	}
+}
+
+func TestSACKBlocksOnDupAcks(t *testing.T) {
+	p := newPair(sackCfg(true), sackCfg(true), time10us())
+	p.connect(t)
+	newSink(p.b)
+	var sawBlocks bool
+	// Drop one segment; subsequent dup acks must carry SACK blocks.
+	dropped := false
+	p.dropAB = func(n int64, seg *Segment) bool {
+		if !dropped && seg.Len > 0 && seg.Seq > 50000 {
+			dropped = true
+			return true
+		}
+		return false
+	}
+	p.dropBA = func(n int64, seg *Segment) bool {
+		if len(seg.SACKBlocks) > 0 {
+			sawBlocks = true
+		}
+		return false
+	}
+	newPump(p.a, 1<<20)
+	p.run(10 * units.Second)
+	if !sawBlocks {
+		t.Error("no SACK blocks observed on acks after a loss")
+	}
+}
+
+// multiDropPattern drops `holes` alternating segments within a single
+// window's worth of data — the loss burst that separates SACK (repairs all
+// holes in ~one round trip) from NewReno (one hole per round trip).
+func multiDropPattern(holes int) func(n int64, seg *Segment) bool {
+	var dropped int
+	next := int64(70 * 1448) // first segment boundary above ~100 KB
+	return func(n int64, seg *Segment) bool {
+		if seg.Len == 0 || dropped >= holes {
+			return false
+		}
+		if seg.Seq == next {
+			dropped++
+			next += int64(2 * 1448) // skip one segment between holes
+			return true
+		}
+		return false
+	}
+}
+
+func TestSACKRecoversMultipleHolesWithoutRTO(t *testing.T) {
+	p := newPair(sackCfg(true), sackCfg(true), 2*units.Millisecond)
+	p.connect(t)
+	sink := newSink(p.b)
+	p.dropAB = multiDropPattern(3)
+	const total = 4 << 20
+	newPump(p.a, total)
+	p.run(60 * units.Second)
+	if sink.total != total {
+		t.Fatalf("received %d of %d (stats %+v)", sink.total, total, p.a.Stats)
+	}
+	if p.a.Stats.Retransmits < 3 {
+		t.Errorf("retransmits = %d, want >= 3", p.a.Stats.Retransmits)
+	}
+	if p.a.Stats.Timeouts != 0 {
+		t.Errorf("timeouts = %d; SACK should repair all holes without RTO", p.a.Stats.Timeouts)
+	}
+}
+
+func TestSACKFasterThanNewRenoOnMultipleLosses(t *testing.T) {
+	run := func(sack bool) units.Time {
+		p := newPair(sackCfg(sack), sackCfg(sack), 2*units.Millisecond)
+		p.connect(t)
+		sink := newSink(p.b)
+		p.dropAB = multiDropPattern(3)
+		const total = 4 << 20
+		start := p.eng.Now()
+		newPump(p.a, total)
+		for i := 0; i < 30000 && sink.total < total; i++ {
+			p.run(2 * units.Millisecond)
+		}
+		if sink.total != total {
+			t.Fatalf("sack=%v: received %d of %d", sack, sink.total, total)
+		}
+		return p.eng.Now() - start
+	}
+	withSACK := run(true)
+	without := run(false)
+	if withSACK > without {
+		t.Errorf("SACK transfer (%v) should not be slower than NewReno (%v)", withSACK, without)
+	}
+}
+
+func TestSACKScoreboardInvariants(t *testing.T) {
+	// White-box: the scoreboard stays sorted, disjoint, within
+	// (sndUna, sndNxt], and is cleared by timeouts.
+	p := newPair(sackCfg(true), sackCfg(true), time10us())
+	p.connect(t)
+	c := p.a
+	c.sndUna = 1000
+	c.sndNxt = 50000
+	c.ingestSACK(&Segment{SACKBlocks: []SackBlock{
+		{From: 500, To: 2000}, // clipped to sndUna
+		{From: 3000, To: 4000},
+		{From: 60000, To: 70000}, // clipped to sndNxt (empty)
+		{From: 3500, To: 5000},   // overlaps second
+	}})
+	if len(c.sacked) != 2 {
+		t.Fatalf("sacked = %v", c.sacked)
+	}
+	if c.sacked[0].from != 1000 || c.sacked[0].to != 2000 {
+		t.Errorf("first span = %v", c.sacked[0])
+	}
+	if c.sacked[1].from != 3000 || c.sacked[1].to != 5000 {
+		t.Errorf("second span = %v", c.sacked[1])
+	}
+	// Hole finding: [2000,3000) is the hole; beyond 5000 is not presumed lost.
+	start, length, ok := c.findHole(c.sndUna)
+	if !ok || start != 2000 || length != 1000 {
+		t.Errorf("hole = (%d,%d,%v)", start, length, ok)
+	}
+	if _, _, ok := c.findHole(5000); ok {
+		t.Error("found a hole above the highest SACKed byte")
+	}
+	// Ack advance trims.
+	c.sndUna = 3500
+	c.trimSACK()
+	if len(c.sacked) != 1 || c.sacked[0].from != 3500 {
+		t.Errorf("after trim: %v", c.sacked)
+	}
+}
+
+func TestSACKHeaderCost(t *testing.T) {
+	seg := &Segment{SACKBlocks: []SackBlock{{0, 10}, {20, 30}}}
+	want := BaseHeaderLen + SACKBaseLen + 2*SACKBlockLen
+	if got := seg.HeaderLen(); got != want {
+		t.Errorf("header = %d, want %d", got, want)
+	}
+	syn := &Segment{SYN: true, MSSOpt: 1460, WScaleOpt: 2, SACKPerm: true}
+	want = BaseHeaderLen + MSSOptLen + WScaleOptLen + SACKPermOptLen
+	if got := syn.HeaderLen(); got != want {
+		t.Errorf("SYN header = %d, want %d", got, want)
+	}
+}
+
+func TestSACKBlocksBounded(t *testing.T) {
+	p := newPair(sackCfg(true), sackCfg(true), time10us())
+	p.connect(t)
+	// Fabricate many ooo spans at the receiver.
+	for i := int64(0); i < 10; i++ {
+		p.b.ooo = mergeSpan(p.b.ooo, span{10000 + i*3000, 11000 + i*3000})
+	}
+	blocks := p.b.buildSACKBlocks()
+	if len(blocks) != MaxSACKBlocks {
+		t.Errorf("blocks = %d, want %d", len(blocks), MaxSACKBlocks)
+	}
+}

@@ -1,0 +1,190 @@
+// Package tcp implements the event-driven TCP used by every experiment in
+// this repository: Reno congestion control (slow start, congestion
+// avoidance, fast retransmit, NewReno fast recovery, exponential-backoff
+// RTO), delayed acknowledgments, Nagle, the timestamp and window-scale
+// options, and — central to the paper's §3.5.1 analysis — the Linux-2.4
+// receive-window behaviors: silly-window-syndrome avoidance that keeps the
+// advertised window MSS-aligned, truesize-based receive-buffer accounting,
+// MSS-aligned congestion windows, and receiver-side MSS estimation.
+//
+// The package models protocol behavior only; all resource costs (CPU,
+// copies, DMA, wire time) are charged by the host package, which sits
+// between two Conns and the simulated network.
+package tcp
+
+import (
+	"fmt"
+
+	"tengig/internal/units"
+)
+
+// Header sizes in bytes.
+const (
+	// BaseHeaderLen is a TCP header without options.
+	BaseHeaderLen = 20
+	// TimestampOptLen is the timestamps option including padding, as on
+	// every data segment of a connection that negotiated timestamps.
+	TimestampOptLen = 12
+	// MSSOptLen, WScaleOptLen, SACKPermOptLen are SYN-only option sizes
+	// (with padding).
+	MSSOptLen      = 4
+	WScaleOptLen   = 4
+	SACKPermOptLen = 4
+	// SACKBlockLen is the per-block cost of the SACK option; a SACK option
+	// with n blocks occupies SACKBaseLen + n*SACKBlockLen bytes (padded).
+	SACKBaseLen  = 4
+	SACKBlockLen = 8
+	// MaxSACKBlocks bounds blocks per segment (3 when timestamps are also
+	// present, as in Linux).
+	MaxSACKBlocks = 3
+)
+
+// Segment is one TCP segment. Payload bytes are represented by Len only;
+// sequence arithmetic uses absolute int64 byte offsets (the simulator does
+// not model 32-bit wraparound; connections here move far less than 2^63
+// bytes).
+type Segment struct {
+	Seq int64 // sequence number of the first payload byte
+	Len int   // payload length in bytes
+	Ack int64 // cumulative acknowledgment (next expected byte)
+	Wnd int   // advertised receive window in bytes (already descaled)
+
+	SYN bool
+	FIN bool
+
+	// SYN options.
+	MSSOpt    int  // MSS option value; 0 = absent
+	WScaleOpt int  // window scale shift; -1 = absent
+	SACKPerm  bool // SACK-permitted option on SYN
+
+	// Timestamps option.
+	HasTS bool
+	TSVal units.Time
+	TSEcr units.Time
+
+	// SACK blocks on acknowledgments (RFC 2018), most recent first.
+	SACKBlocks []SackBlock
+}
+
+// SackBlock is one selective-acknowledgment range [From, To).
+type SackBlock struct {
+	From, To int64
+}
+
+// HeaderLen returns the TCP header length including options.
+func (s *Segment) HeaderLen() int {
+	n := BaseHeaderLen
+	if s.HasTS {
+		n += TimestampOptLen
+	}
+	if s.SYN {
+		if s.MSSOpt > 0 {
+			n += MSSOptLen
+		}
+		if s.WScaleOpt >= 0 {
+			n += WScaleOptLen
+		}
+		if s.SACKPerm {
+			n += SACKPermOptLen
+		}
+	}
+	if len(s.SACKBlocks) > 0 {
+		n += SACKBaseLen + len(s.SACKBlocks)*SACKBlockLen
+	}
+	return n
+}
+
+// End returns the sequence number just past this segment's payload,
+// counting SYN and FIN, which each consume one sequence number.
+func (s *Segment) End() int64 {
+	e := s.Seq + int64(s.Len)
+	if s.SYN {
+		e++
+	}
+	if s.FIN {
+		e++
+	}
+	return e
+}
+
+// IsPureAck reports whether the segment carries no payload or flags other
+// than ACK.
+func (s *Segment) IsPureAck() bool { return s.Len == 0 && !s.SYN && !s.FIN }
+
+// String renders a compact description for diagnostics.
+func (s *Segment) String() string {
+	flags := ""
+	if s.SYN {
+		flags += "S"
+	}
+	if s.FIN {
+		flags += "F"
+	}
+	if flags == "" {
+		flags = "."
+	}
+	return fmt.Sprintf("seg[%s seq=%d len=%d ack=%d wnd=%d]", flags, s.Seq, s.Len, s.Ack, s.Wnd)
+}
+
+// span is a half-open byte range [from, to) used by the retransmit and
+// out-of-order queues.
+type span struct {
+	from, to int64
+}
+
+func (x span) len() int64 { return x.to - x.from }
+
+// mergeSpan inserts s into sorted, non-overlapping spans, coalescing
+// adjacent and overlapping ranges. Returns the new slice.
+func mergeSpan(spans []span, s span) []span {
+	if s.from >= s.to {
+		return spans
+	}
+	// Fast path for the common in-order case: extend or append at the end.
+	if n := len(spans); n > 0 && spans[n-1].to <= s.from {
+		if spans[n-1].to == s.from {
+			spans[n-1].to = s.to
+			return spans
+		}
+		return append(spans, s)
+	}
+	if len(spans) == 0 {
+		return append(spans, s)
+	}
+	// General case: rebuild into a fresh slice (the input may alias caller
+	// state and an insertion can grow it past elements not yet read).
+	out := make([]span, 0, len(spans)+1)
+	inserted := false
+	for _, x := range spans {
+		switch {
+		case x.to < s.from: // strictly before, no touch
+			out = append(out, x)
+		case s.to < x.from: // strictly after
+			if !inserted {
+				out = append(out, s)
+				inserted = true
+			}
+			out = append(out, x)
+		default: // overlap or adjacency: absorb into s
+			if x.from < s.from {
+				s.from = x.from
+			}
+			if x.to > s.to {
+				s.to = x.to
+			}
+		}
+	}
+	if !inserted {
+		out = append(out, s)
+	}
+	return out
+}
+
+// spansBytes returns the total bytes covered.
+func spansBytes(spans []span) int64 {
+	var n int64
+	for _, s := range spans {
+		n += s.len()
+	}
+	return n
+}

@@ -1,0 +1,444 @@
+package tcp
+
+import (
+	"tengig/internal/units"
+)
+
+// cwndBytes returns the congestion window in bytes (MSS-aligned by
+// construction: cwnd is counted in segments, as Linux does).
+func (c *Conn) cwndBytes() int64 { return int64(c.cwnd) * int64(c.MSS()) }
+
+// sendLimit returns the highest stream offset the sender may currently
+// occupy: the lesser of the peer's advertised edge and the congestion
+// window's edge.
+func (c *Conn) sendLimit() int64 {
+	limit := c.peerWndEdge
+	if e := c.sndUna + c.cwndBytes(); e < limit {
+		limit = e
+	}
+	return limit
+}
+
+// trySend emits as many segments as windows, data, and sender-side silly
+// window avoidance allow. This is where the paper's §3.5.1 behavior lives:
+// with AlignCwnd the sender transmits only whole-MSS segments into the
+// window, so a window that is not an exact multiple of the MSS loses its
+// fractional remainder ("neither the sender nor the receiver can transfer 6
+// complete packets; both can do at best 5").
+func (c *Conn) trySend() {
+	if c.state != StateEstablished && c.state != StateFinSent {
+		return
+	}
+	mss := int64(c.MSS())
+	// TSO: the stack emits super-segments; the device re-segments to the
+	// wire MSS. Window math stays in real-MSS units.
+	chunk := mss
+	if int64(c.cfg.SendChunk) > mss {
+		chunk = int64(c.cfg.SendChunk)
+	}
+	for {
+		avail := c.appWritten - c.sndNxt
+		if avail <= 0 {
+			if avail == 0 && c.finQueued && !c.finSent {
+				c.emitFIN()
+			}
+			c.Stats.AppLimited++
+			break
+		}
+		limit := c.sendLimit()
+		space := limit - c.sndNxt
+		if space <= 0 {
+			if c.sndNxt == c.sndUna {
+				// Nothing in flight and a closed window: arm the persist
+				// timer so a lost window update cannot deadlock us.
+				c.armPersist()
+			}
+			if limit == c.peerWndEdge {
+				c.Stats.RwndLimited++
+			} else {
+				c.Stats.CwndLimited++
+			}
+			break
+		}
+		segLen := chunk
+		if segLen > avail {
+			segLen = avail
+		}
+		// Super-segments cover whole wire-MSS multiples; a sub-MSS tail is
+		// left behind to be coalesced with later writes (or Nagle-held),
+		// exactly as the non-TSO path treats partials.
+		if chunk > mss && segLen == avail && avail >= mss && segLen%mss != 0 {
+			segLen = segLen / mss * mss
+		}
+		if segLen > space {
+			fit := space / mss * mss
+			if fit == 0 && c.cfg.AlignCwnd {
+				// Do not shave a full-size segment down to fill a
+				// fractional window: this is the MSS-aligned window
+				// behavior under study.
+				if limit == c.peerWndEdge {
+					c.Stats.RwndLimited++
+				} else {
+					c.Stats.CwndLimited++
+				}
+				break
+			}
+			if c.cfg.AlignCwnd {
+				segLen = fit
+			} else {
+				segLen = space
+			}
+		}
+		if segLen < mss && segLen == avail && !c.cfg.NoDelay && c.sndNxt > c.sndUna && !c.finQueued {
+			// Nagle: hold the trailing partial segment while data is in
+			// flight — unless the connection is closing, which pushes
+			// everything out (tcp_close does not wait for acks).
+			c.Stats.AppLimited++
+			break
+		}
+		c.emitData(c.sndNxt, int(segLen), false)
+		c.sndNxt += segLen
+	}
+	if c.sndNxt > c.sndUna {
+		c.armRTO()
+	}
+}
+
+// emitData sends one data segment. retx marks retransmissions.
+func (c *Conn) emitData(seq int64, length int, retx bool) {
+	seg := &Segment{
+		Seq: seq,
+		Len: length,
+		Ack: c.rcvNxt,
+		Wnd: c.advertiseWindow(),
+	}
+	c.stampTS(seg)
+	if !retx {
+		c.retrq = mergeSpan(c.retrq, span{seq, seq + int64(length)})
+		if !c.rttPending && !c.tsOK {
+			c.rttPending = true
+			c.rttSeq = seq + int64(length)
+			c.rttAt = c.env.Now()
+		}
+	} else {
+		c.Stats.Retransmits++
+	}
+	c.Stats.SegsOut++
+	c.Stats.DataSegsOut++
+	c.Stats.BytesSent += int64(length)
+	c.ackSent()
+	c.out(seg)
+}
+
+// emitFIN sends the FIN once all data is out.
+func (c *Conn) emitFIN() {
+	c.finSent = true
+	if c.state == StateEstablished {
+		c.state = StateFinSent
+	}
+	seg := &Segment{
+		Seq: c.sndNxt,
+		FIN: true,
+		Ack: c.rcvNxt,
+		Wnd: c.advertiseWindow(),
+	}
+	c.stampTS(seg)
+	c.Stats.SegsOut++
+	c.ackSent()
+	c.out(seg)
+}
+
+// sendAck emits a pure acknowledgment. delayed marks it as fired by the
+// delayed-ack timer (for stats).
+func (c *Conn) sendAck(delayed bool) {
+	switch c.state {
+	case StateEstablished, StateFinSent, StateSynRcvd, StateDone:
+	default:
+		return
+	}
+	seg := &Segment{
+		Seq:        c.sndNxt,
+		Ack:        c.rcvNxt,
+		Wnd:        c.advertiseWindow(),
+		SACKBlocks: c.buildSACKBlocks(),
+	}
+	c.stampTS(seg)
+	c.Stats.SegsOut++
+	c.Stats.AcksOut++
+	if delayed {
+		c.Stats.DelayedAcks++
+	} else {
+		c.Stats.ImmediateAcks++
+	}
+	c.ackSent()
+	c.out(seg)
+}
+
+// stampTS fills the timestamp option.
+func (c *Conn) stampTS(seg *Segment) {
+	if c.tsOK {
+		seg.HasTS = true
+		seg.TSVal = c.env.Now()
+		if c.hasTSVal {
+			seg.TSEcr = c.lastTSVal
+		}
+	}
+}
+
+// ackSent resets delayed-ack state: any segment we emit carries the current
+// cumulative ack.
+func (c *Conn) ackSent() {
+	c.delackCnt = 0
+	if c.delackTmr != nil {
+		c.delackTmr.Stop()
+		c.delackTmr = nil
+	}
+}
+
+// processAck handles the acknowledgment field of an arriving segment.
+func (c *Conn) processAck(seg *Segment) {
+	c.ingestSACK(seg)
+	switch {
+	case seg.Ack > c.sndUna:
+		c.newAck(seg)
+	case seg.Ack == c.sndUna && seg.IsPureAck() && c.sndNxt > c.sndUna:
+		// A duplicate ack must not announce new window space (a pure window
+		// update is not a congestion signal).
+		if seg.Ack+int64(seg.Wnd) <= c.peerWndEdge {
+			c.dupAck()
+		}
+	}
+}
+
+// newAck advances sndUna and runs congestion control.
+func (c *Conn) newAck(seg *Segment) {
+	acked := seg.Ack - c.sndUna
+	// Was the sender actually constrained by cwnd before this ack? Linux's
+	// congestion-window validation: do not grow a window the sender is not
+	// filling (matters for the receiver-window-capped WAN runs).
+	wasCwndLimited := c.sndNxt-c.sndUna >= c.cwndBytes()-int64(c.MSS())
+	c.sndUna = seg.Ack
+	c.Stats.BytesAcked += acked
+	// Trim the retransmit queue and the SACK scoreboard.
+	for len(c.retrq) > 0 && c.retrq[0].to <= c.sndUna {
+		c.retrq = c.retrq[1:]
+	}
+	if len(c.retrq) > 0 && c.retrq[0].from < c.sndUna {
+		c.retrq[0].from = c.sndUna
+	}
+	c.trimSACK()
+
+	// RTT sampling: timestamps give a sample on every ack; otherwise use
+	// the one-outstanding-sample method with Karn's rule.
+	if c.tsOK && seg.HasTS && !c.fastRec {
+		if rtt := c.env.Now() - seg.TSEcr; rtt >= 0 && seg.TSEcr > 0 {
+			c.sampleRTT(rtt)
+		}
+	} else if c.rttPending && seg.Ack >= c.rttSeq {
+		if !c.fastRec {
+			c.sampleRTT(c.env.Now() - c.rttAt)
+		}
+		c.rttPending = false
+	}
+
+	if c.fastRec {
+		if seg.Ack >= c.recoverSeq {
+			// Full recovery (NewReno): deflate to ssthresh.
+			c.fastRec = false
+			c.dupAcks = 0
+			c.cwnd = c.ssthresh
+			c.cwndCnt = 0
+		} else {
+			// Partial ack: the next hole is lost too — retransmit it
+			// (scoreboard-guided when SACK is on) and stay in recovery.
+			c.retxNext = c.sndUna
+			if !c.sackOK || !c.retransmitHole() {
+				c.retransmitHead()
+			}
+			if c.cwnd > c.ssthresh {
+				c.cwnd-- // deflate by roughly what left the network
+			}
+		}
+	} else {
+		c.dupAcks = 0
+		if wasCwndLimited {
+			if c.cwnd < c.ssthresh {
+				c.cwnd++ // slow start
+			} else {
+				c.cwndCnt++
+				if c.cwndCnt >= c.cwnd {
+					c.cwnd++
+					c.cwndCnt = 0
+				}
+			}
+		}
+	}
+
+	c.sampleState("ack")
+	if c.sndUna < c.sndNxt {
+		// RFC 6298 (5.3): restart the timer when an ack covers new data.
+		c.cancelRTO()
+		c.armRTO()
+	} else {
+		c.cancelRTO()
+		c.rto = c.boundRTO(c.computeRTO())
+		if c.sendDone() && (!c.peerFin || c.EOF()) {
+			c.state = StateDone
+		}
+	}
+	c.notifyWritable()
+}
+
+// dupAck counts duplicate acknowledgments and triggers fast retransmit on
+// the third, entering NewReno fast recovery.
+func (c *Conn) dupAck() {
+	c.Stats.DupAcksIn++
+	c.dupAcks++
+	if !c.fastRec && c.dupAcks == 3 {
+		c.ssthresh = c.halveFlight()
+		c.fastRec = true
+		c.recoverSeq = c.sndNxt
+		c.Stats.FastRetransmits++
+		c.fastRetransmit()
+		c.cwnd = c.ssthresh + 3
+	} else if c.fastRec {
+		c.cwnd++ // window inflation per extra dup ack
+		if c.sackOK {
+			// New SACK information may expose further holes; repair the
+			// next one immediately rather than waiting for a partial ack.
+			c.retransmitHole()
+		}
+	}
+	c.sampleState("dupack")
+}
+
+// halveFlight returns max(flight/2, 2) in segments — the AIMD multiplicative
+// decrease.
+func (c *Conn) halveFlight() int {
+	flight := int((c.sndNxt - c.sndUna) / int64(c.MSS()))
+	h := flight / 2
+	if h < 2 {
+		h = 2
+	}
+	return h
+}
+
+// retransmitHead re-sends the first unacknowledged segment.
+func (c *Conn) retransmitHead() {
+	if len(c.retrq) == 0 {
+		return
+	}
+	head := c.retrq[0]
+	length := head.len()
+	if m := int64(c.MSS()); length > m {
+		length = m
+	}
+	c.emitData(head.from, int(length), true)
+}
+
+// RTO handling -------------------------------------------------------------
+
+func (c *Conn) computeRTO() units.Time {
+	if !c.rttValid {
+		return c.cfg.RTOInit
+	}
+	return c.srtt + 4*c.rttvar
+}
+
+func (c *Conn) boundRTO(t units.Time) units.Time {
+	if t < c.cfg.RTOMin {
+		t = c.cfg.RTOMin
+	}
+	if t > c.cfg.RTOMax {
+		t = c.cfg.RTOMax
+	}
+	return t
+}
+
+// sampleRTT folds one RTT measurement into srtt/rttvar (RFC 6298).
+func (c *Conn) sampleRTT(rtt units.Time) {
+	if rtt < 0 {
+		return
+	}
+	if !c.rttValid {
+		c.srtt = rtt
+		c.rttvar = rtt / 2
+		c.rttValid = true
+	} else {
+		d := c.srtt - rtt
+		if d < 0 {
+			d = -d
+		}
+		c.rttvar += (d - c.rttvar) / 4
+		c.srtt += (rtt - c.srtt) / 8
+	}
+	c.rto = c.boundRTO(c.computeRTO())
+}
+
+func (c *Conn) armRTO() {
+	if c.rtoTimer != nil && c.rtoTimer.Pending() {
+		return
+	}
+	c.rtoTimer = c.env.After(c.rto, c.onRTO)
+}
+
+func (c *Conn) cancelRTO() {
+	if c.rtoTimer != nil {
+		c.rtoTimer.Stop()
+		c.rtoTimer = nil
+	}
+}
+
+// onRTO is the retransmission timeout: multiplicative decrease to one
+// segment, exponential timer backoff, retransmit the head of the queue.
+func (c *Conn) onRTO() {
+	c.rtoTimer = nil
+	if c.sndUna >= c.sndNxt {
+		return
+	}
+	c.Stats.Timeouts++
+	c.ssthresh = c.halveFlight()
+	c.cwnd = 1
+	c.cwndCnt = 0
+	c.fastRec = false
+	c.dupAcks = 0
+	c.sacked = nil       // forget the scoreboard across a timeout (reneging safety)
+	c.rttPending = false // Karn: no sample across a retransmit
+	c.rto = c.boundRTO(c.rto * 2)
+	c.retransmitHead()
+	c.armRTO()
+	c.sampleState("timeout")
+}
+
+// Persist (zero-window probe) handling --------------------------------------
+
+func (c *Conn) armPersist() {
+	if c.persistTmr != nil && c.persistTmr.Pending() {
+		return
+	}
+	c.persistTmr = c.env.After(c.rto, c.onPersist)
+}
+
+func (c *Conn) cancelPersist() {
+	if c.persistTmr != nil {
+		c.persistTmr.Stop()
+		c.persistTmr = nil
+	}
+}
+
+// onPersist probes a zero window with one byte beyond the edge; the
+// receiver will discard it but respond with its current window.
+func (c *Conn) onPersist() {
+	c.persistTmr = nil
+	if c.PeerWindow() > 0 {
+		c.trySend()
+		return
+	}
+	if c.appWritten == c.sndNxt {
+		return // nothing to probe with
+	}
+	c.Stats.WindowProbes++
+	c.emitData(c.sndNxt, 1, false)
+	c.sndNxt++
+	c.armPersist()
+}

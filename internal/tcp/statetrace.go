@@ -1,0 +1,50 @@
+package tcp
+
+import (
+	"tengig/internal/units"
+)
+
+// StatePoint is one sample of the sender's internal state — what the paper
+// observes by "monitoring the kernel's internal state variables with
+// MAGNET" (§3.5.1) and what drives its Table 1 analysis: the congestion
+// window's AIMD sawtooth.
+type StatePoint struct {
+	At       units.Time
+	Cwnd     int // segments
+	Ssthresh int // segments
+	InFlight int64
+	PeerWnd  int64 // usable peer window beyond sndNxt
+	SRTT     units.Time
+	// Event names what triggered the sample: "ack", "dupack", "retransmit",
+	// "timeout".
+	Event string
+}
+
+// EnableStateTrace starts recording state samples on every congestion-
+// control event, keeping at most max points (0 = 64k default).
+func (c *Conn) EnableStateTrace(max int) {
+	if max <= 0 {
+		max = 65536
+	}
+	c.stateTraceMax = max
+	c.stateTrace = make([]StatePoint, 0, 256)
+}
+
+// StateTrace returns the recorded samples.
+func (c *Conn) StateTrace() []StatePoint { return c.stateTrace }
+
+// sampleState appends a state point if tracing is enabled.
+func (c *Conn) sampleState(event string) {
+	if c.stateTraceMax == 0 || len(c.stateTrace) >= c.stateTraceMax {
+		return
+	}
+	c.stateTrace = append(c.stateTrace, StatePoint{
+		At:       c.env.Now(),
+		Cwnd:     c.cwnd,
+		Ssthresh: c.ssthresh,
+		InFlight: c.InFlight(),
+		PeerWnd:  c.PeerWindow(),
+		SRTT:     c.srtt,
+		Event:    event,
+	})
+}

@@ -1,0 +1,117 @@
+package tcp
+
+import (
+	"testing"
+
+	"tengig/internal/units"
+)
+
+func TestStateTraceDisabledByDefault(t *testing.T) {
+	p := newPair(lanConfig(1500), lanConfig(1500), time10us())
+	p.connect(t)
+	newSink(p.b)
+	newPump(p.a, 1<<20)
+	p.run(units.Second)
+	if got := p.a.StateTrace(); got != nil {
+		t.Errorf("trace recorded without enabling: %d points", len(got))
+	}
+}
+
+func TestStateTraceRecordsAcks(t *testing.T) {
+	p := newPair(lanConfig(1500), lanConfig(1500), time10us())
+	p.connect(t)
+	p.a.EnableStateTrace(0)
+	newSink(p.b)
+	newPump(p.a, 1<<20)
+	p.run(units.Second)
+	pts := p.a.StateTrace()
+	if len(pts) < 100 {
+		t.Fatalf("trace points = %d", len(pts))
+	}
+	// Monotone time, sane values.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].At < pts[i-1].At {
+			t.Fatal("trace time went backwards")
+		}
+		if pts[i].Cwnd < 1 || pts[i].InFlight < 0 {
+			t.Fatalf("bad point %+v", pts[i])
+		}
+	}
+}
+
+func TestStateTraceBound(t *testing.T) {
+	p := newPair(lanConfig(1500), lanConfig(1500), time10us())
+	p.connect(t)
+	p.a.EnableStateTrace(50)
+	newSink(p.b)
+	newPump(p.a, 4<<20)
+	p.run(units.Second)
+	if got := len(p.a.StateTrace()); got != 50 {
+		t.Errorf("trace points = %d, want capped at 50", got)
+	}
+}
+
+// TestStateTraceShowsAIMDSawtooth validates the Table 1 dynamic visually
+// captured by the trace: after a loss at an established window, cwnd halves
+// (multiplicative decrease) and then grows back linearly (~1 segment per
+// RTT, additive increase).
+func TestStateTraceShowsAIMDSawtooth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long AIMD simulation")
+	}
+	cfg := lanConfig(1500)
+	cfg.WindowScale = true
+	cfg.SndBuf = 16 << 20
+	cfg.RcvBuf = 16 << 20
+	cfg.TruesizeAccounting = false
+	rtt := 10 * units.Millisecond
+	p := newPair(cfg, cfg, rtt/2)
+	p.connect(t)
+	p.a.EnableStateTrace(1 << 20)
+	newSink(p.b)
+	dropped := false
+	var cwndBefore int
+	p.dropAB = func(n int64, seg *Segment) bool {
+		if !dropped && seg.Len > 0 && p.a.Cwnd() >= 80 {
+			cwndBefore = p.a.Cwnd()
+			dropped = true
+			return true
+		}
+		return false
+	}
+	newPump(p.a, 1<<40)
+	p.run(20 * units.Second)
+	if !dropped {
+		t.Fatal("never reached the target window")
+	}
+	pts := p.a.StateTrace()
+	// Find the recovery exit: the first post-drop point where fast
+	// recovery deflated cwnd to ssthresh.
+	var troughIdx int
+	for i, pt := range pts {
+		if pt.Event == "ack" && pt.Cwnd <= cwndBefore*3/4 && pt.Cwnd >= 2 && troughIdx == 0 && pt.Ssthresh < cwndBefore {
+			troughIdx = i
+		}
+	}
+	if troughIdx == 0 {
+		t.Fatal("no multiplicative decrease observed in the trace")
+	}
+	trough := pts[troughIdx]
+	// Additive increase: roughly one segment per RTT afterwards.
+	target := trough.Cwnd + 10
+	var atTarget units.Time
+	for _, pt := range pts[troughIdx:] {
+		if pt.Cwnd >= target {
+			atTarget = pt.At
+			break
+		}
+	}
+	if atTarget == 0 {
+		t.Fatal("cwnd never regrew by 10 segments")
+	}
+	growth := atTarget - trough.At
+	// 10 segments at ~1/RTT: expect ~10 RTTs, allow 5-30.
+	if growth < 5*rtt || growth > 30*rtt {
+		t.Errorf("10-segment regrowth took %v, want ~%v", growth, 10*rtt)
+	}
+}

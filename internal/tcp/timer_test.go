@@ -1,0 +1,144 @@
+package tcp
+
+import (
+	"testing"
+
+	"tengig/internal/units"
+)
+
+// Timer-behavior tests: delayed acks, RTO backoff, timestamp RTT sampling.
+
+func TestDelayedAckTimerFires(t *testing.T) {
+	// A single odd segment with no follow-up: the ack must come from the
+	// delayed-ack timer, ~40 ms later.
+	cfg := lanConfig(1500)
+	cfg.QuickAcks = 0 // disable quickack so the delack path is exercised
+	p := newPair(cfg, cfg, time10us())
+	p.connect(t)
+	newSink(p.b)
+	p.a.Write(500) // one small segment (NoDelay off but idle -> sent)
+	p.run(units.Second)
+	if got := p.b.Stats.DelayedAcks; got != 1 {
+		t.Errorf("delayed acks = %d, want 1", got)
+	}
+	// The sender saw its data acked despite no second segment.
+	if p.a.InFlight() != 0 {
+		t.Errorf("in-flight = %d after delack", p.a.InFlight())
+	}
+	// And the ack arrived no earlier than the delack timeout: the EWMA
+	// folds one ~40 ms sample over the ~20 us handshake seed (1/8 gain).
+	if srtt := p.a.SRTT(); srtt < cfg.DelAckTimeout/10 {
+		t.Errorf("srtt %v implies the ack was not delayed", srtt)
+	}
+}
+
+func TestQuickAckPhaseAcksImmediately(t *testing.T) {
+	cfg := lanConfig(1500)
+	cfg.QuickAcks = 4
+	p := newPair(cfg, cfg, time10us())
+	p.connect(t)
+	newSink(p.b)
+	// First write: within the quickack budget -> immediate ack.
+	p.a.Write(500)
+	p.run(10 * units.Millisecond)
+	if p.b.Stats.DelayedAcks != 0 || p.b.Stats.ImmediateAcks == 0 {
+		t.Errorf("quickack not immediate: %+v", p.b.Stats)
+	}
+}
+
+func TestRTOExponentialBackoff(t *testing.T) {
+	// Black-hole the data path entirely: successive RTOs must back off
+	// exponentially and stay within [RTOMin, RTOMax].
+	cfg := lanConfig(1500)
+	p := newPair(cfg, cfg, time10us())
+	p.connect(t)
+	p.dropAB = func(n int64, seg *Segment) bool { return seg.Len > 0 }
+	newSink(p.b)
+	p.a.Write(1000)
+	var timeouts []units.Time
+	last := units.Time(0)
+	for i := 0; i < 2000 && p.a.Stats.Timeouts < 6; i++ {
+		p.run(100 * units.Millisecond)
+		if p.a.Stats.Timeouts > int64(len(timeouts)) {
+			timeouts = append(timeouts, p.eng.Now()-last)
+			last = p.eng.Now()
+		}
+	}
+	if len(timeouts) < 6 {
+		t.Fatalf("only %d timeouts observed", len(timeouts))
+	}
+	// Intervals grow (allowing coarse sampling slop) and never exceed max.
+	for i := 2; i < len(timeouts); i++ {
+		if timeouts[i] < timeouts[i-1] {
+			t.Errorf("backoff not monotone: %v then %v", timeouts[i-1], timeouts[i])
+		}
+		if timeouts[i] > cfg.RTOMax+200*units.Millisecond {
+			t.Errorf("interval %v exceeds RTOMax", timeouts[i])
+		}
+	}
+	if p.a.RTO() < cfg.RTOMin {
+		t.Errorf("RTO %v below minimum", p.a.RTO())
+	}
+}
+
+func TestTimestampRTTAccuracy(t *testing.T) {
+	// With timestamps, SRTT converges to the true path RTT on every ack.
+	delay := 3 * units.Millisecond
+	cfg := lanConfig(1500)
+	cfg.RcvBuf = 1 << 20
+	cfg.SndBuf = 1 << 20
+	cfg.WindowScale = true
+	p := newPair(cfg, cfg, delay)
+	p.connect(t)
+	newSink(p.b)
+	newPump(p.a, 4<<20)
+	p.run(5 * units.Second)
+	srtt := p.a.SRTT()
+	if srtt < 2*delay || srtt > 2*delay+2*units.Millisecond {
+		t.Errorf("SRTT = %v, want ~%v", srtt, 2*delay)
+	}
+}
+
+func TestNoTimestampRTTStillMeasured(t *testing.T) {
+	delay := 3 * units.Millisecond
+	cfg := lanConfig(1500)
+	cfg.Timestamps = false
+	p := newPair(cfg, cfg, delay)
+	p.connect(t)
+	newSink(p.b)
+	newPump(p.a, 1<<20)
+	p.run(5 * units.Second)
+	srtt := p.a.SRTT()
+	if srtt < 2*delay || srtt > 2*delay+5*units.Millisecond {
+		t.Errorf("SRTT = %v, want ~%v (Karn sampling)", srtt, 2*delay)
+	}
+}
+
+func TestPersistProbeRecoversLostWindowUpdate(t *testing.T) {
+	// Close the receiver window, then drop the window-update ack: only the
+	// persist probe can unstick the connection.
+	cfg := lanConfig(1500)
+	cfg.RcvBuf = 8 * 1024
+	p := newPair(lanConfig(1500), cfg, time10us())
+	p.connect(t)
+	const total = 64 * 1024
+	newPump(p.a, total)
+	p.run(2 * units.Second) // window fills, sender stalls
+	if p.a.Stats.BytesSent >= total {
+		t.Fatal("sender never stalled")
+	}
+	// Drop ALL pure acks from b for a while (the window update among them).
+	blocking := true
+	p.dropBA = func(n int64, seg *Segment) bool { return blocking && seg.IsPureAck() }
+	sink := newSink(p.b)
+	sink.total += p.b.Read(1 << 30)
+	p.run(500 * units.Millisecond)
+	blocking = false // path heals; probes get answered
+	p.run(3 * units.Minute)
+	if sink.total != total {
+		t.Fatalf("received %d of %d (probes=%d)", sink.total, total, p.a.Stats.WindowProbes)
+	}
+	if p.a.Stats.WindowProbes == 0 {
+		t.Error("no window probes despite a blocked window update")
+	}
+}

@@ -1,0 +1,197 @@
+package tcp
+
+import (
+	"testing"
+
+	"tengig/internal/units"
+)
+
+// These tests pin the §3.5.1 window behaviors the paper analyzes.
+
+func TestAdvertisedWindowMSSAligned(t *testing.T) {
+	cfg := lanConfig(9000)
+	cfg.TruesizeAccounting = false
+	p := newPair(cfg, cfg, time10us())
+	p.connect(t)
+	newSink(p.b)
+	newPump(p.a, 1<<20)
+	p.run(units.Second)
+	// After data has flowed, the receiver's MSS estimate is the real
+	// segment size and the advertised window must be a multiple of it.
+	est := p.b.RcvMSSEstimate()
+	if est != 8948 {
+		t.Fatalf("rcv MSS estimate = %d, want 8948", est)
+	}
+	adv := p.b.AdvertisedWindow()
+	if adv%est != 0 {
+		t.Errorf("advertised window %d not aligned to MSS %d", adv, est)
+	}
+	// 64 KB buffer, payload accounting: floor(65536/8948)=7 segments.
+	if adv > 7*8948 {
+		t.Errorf("advertised window %d exceeds 7*MSS", adv)
+	}
+}
+
+func TestSWSAvoidanceOffAdvertisesRawSpace(t *testing.T) {
+	// With SWS avoidance off (and window slow start disabled for a clean
+	// comparison), the advertisement is raw free space — not a multiple of
+	// the MSS.
+	mk := func(sws bool) int {
+		cfg := lanConfig(9000)
+		cfg.SWSAvoidance = sws
+		cfg.TruesizeAccounting = false
+		cfg.RcvWindowSlowStart = false
+		p := newPair(cfg, cfg, time10us())
+		p.connect(t)
+		newSink(p.b)
+		newPump(p.a, 1<<20)
+		p.run(units.Second)
+		return p.b.AdvertisedWindow()
+	}
+	raw := mk(false)
+	aligned := mk(true)
+	if raw%8948 == 0 {
+		t.Errorf("raw advertisement %d is MSS-aligned; expected raw space", raw)
+	}
+	if aligned%8948 != 0 {
+		t.Errorf("SWS advertisement %d not MSS-aligned", aligned)
+	}
+	if raw <= aligned {
+		t.Errorf("raw (%d) should exceed aligned (%d)", raw, aligned)
+	}
+}
+
+func TestTruesizeAccountingShrinksWindow(t *testing.T) {
+	// With truesize accounting, buffered jumbo segments charge 16 KB each,
+	// so fewer segments fit than payload accounting would suggest. Stall
+	// the reader to hold data in the queue and compare.
+	run := func(truesize bool) int64 {
+		cfg := lanConfig(9000)
+		cfg.TruesizeAccounting = truesize
+		p := newPair(cfg, cfg, time10us())
+		p.connect(t)
+		newPump(p.a, 1<<20) // no reader: data accumulates at b
+		p.run(2 * units.Second)
+		return p.b.Stats.BytesReceived
+	}
+	withTS := run(true)
+	withoutTS := run(false)
+	if withTS >= withoutTS {
+		t.Errorf("truesize accounting buffered %d bytes before stalling, payload accounting %d — truesize should stall sooner", withTS, withoutTS)
+	}
+}
+
+func TestWindowNeverShrinks(t *testing.T) {
+	cfg := lanConfig(9000)
+	p := newPair(cfg, cfg, time10us())
+	p.connect(t)
+	newSink(p.b)
+	lowest := int64(1 << 62)
+	prevEdge := int64(0)
+	// Observe the advertised right edge at every ack b sends.
+	origOut := p.b
+	_ = origOut
+	done := make(chan struct{})
+	_ = done
+	newPump(p.a, 2<<20)
+	for i := 0; i < 200; i++ {
+		p.run(5 * units.Millisecond)
+		edge := int64(p.b.AdvertisedWindow()) + p.b.rcvNxt
+		if edge < prevEdge {
+			t.Fatalf("advertised edge shrank: %d -> %d", prevEdge, edge)
+		}
+		prevEdge = edge
+		if edge < lowest {
+			lowest = edge
+		}
+	}
+}
+
+func TestRcvMSSObservedVsOwn(t *testing.T) {
+	// A 1500-MTU sender talking to a 9000-MTU receiver: under Observed the
+	// receiver aligns to ~1448; under Own it aligns to its own 8948,
+	// reproducing the paper's sender/receiver MSS mismatch waste.
+	mk := func(mode RcvMSSMode) *pair {
+		ca := lanConfig(1500)
+		cb := lanConfig(9000)
+		cb.RcvMSS = mode
+		cb.TruesizeAccounting = false
+		p := newPair(ca, cb, time10us())
+		p.connect(t)
+		newSink(p.b)
+		newPump(p.a, 1<<20)
+		p.run(units.Second)
+		return p
+	}
+	obs := mk(RcvMSSObserved)
+	if est := obs.b.RcvMSSEstimate(); est != 1448 {
+		t.Errorf("observed estimate = %d, want 1448", est)
+	}
+	own := mk(RcvMSSOwn)
+	if est := own.b.RcvMSSEstimate(); est != 8948 {
+		t.Errorf("own estimate = %d, want 8948", est)
+	}
+	// Alignment to the wrong (larger) MSS wastes window: with 64 KB free,
+	// own-mode advertises 7*8948=62636 while observed advertises
+	// floor(65536/1448)*1448=65160.
+	if a, b := obs.b.AdvertisedWindow(), own.b.AdvertisedWindow(); a <= b {
+		t.Errorf("observed adv %d should exceed own-MSS adv %d", a, b)
+	}
+}
+
+func TestPaperWindowExample(t *testing.T) {
+	// §3.5.1's worked example: 33,000 bytes of socket memory, receiver MSS
+	// 8948, sender MSS 8960.
+	adv, usable := SenderUsableWindow(33000, 8948, 8960)
+	if adv != 26844 {
+		t.Errorf("advertised = %d, want 26844", adv)
+	}
+	if usable != 17920 {
+		t.Errorf("usable = %d, want 17920", usable)
+	}
+	// "nearly 50% smaller than the actual available socket memory".
+	if loss := 1 - float64(usable)/33000; loss < 0.43 || loss > 0.50 {
+		t.Errorf("total waste = %.0f%%, want ~46%%", loss*100)
+	}
+}
+
+func TestFigure8WindowMath(t *testing.T) {
+	// Figure 8: a ~26 KB ideal window with a ~9 KB MSS leaves an 18 KB
+	// usable window — 31% less.
+	ideal := 26 * 1024
+	aligned := MSSAlignedWindow(ideal, 8948)
+	if aligned != 17896 {
+		t.Errorf("aligned = %d, want 17896 (2 segments)", aligned)
+	}
+	eff := WindowEfficiency(ideal, 8948)
+	if eff < 0.66 || eff > 0.70 {
+		t.Errorf("efficiency = %v, want ~0.67 (31%% loss)", eff)
+	}
+}
+
+func TestLANWindowAttenuation(t *testing.T) {
+	// §3.5.1: 19 us latency -> ~48 KB ideal window; with MSS 8948 only 5
+	// whole segments fit: "this immediately attenuates the ideal data rate
+	// by nearly 17%".
+	ideal := IdealWindow(units.FromGbps(10), 2*19*units.Microsecond)
+	if ideal < 47000 || ideal > 48000 {
+		t.Fatalf("ideal window = %d, want ~47.5KB", ideal)
+	}
+	segs := MSSAlignedWindow(ideal, 8948) / 8948
+	if segs != 5 {
+		t.Errorf("whole segments = %d, want 5", segs)
+	}
+	loss := 1 - WindowEfficiency(ideal, 8948)
+	if loss < 0.05 || loss > 0.20 {
+		t.Errorf("attenuation = %.0f%%, want ~6-17%%", loss*100)
+	}
+}
+
+func TestIdealWindowZeroInputs(t *testing.T) {
+	if IdealWindow(0, units.Second) != 0 || IdealWindow(units.GbitPerSecond, 0) != 0 {
+		t.Error("zero inputs should give zero window")
+	}
+	if MSSAlignedWindow(100, 0) != 0 || WindowEfficiency(0, 5) != 0 {
+		t.Error("degenerate alignment inputs")
+	}
+}

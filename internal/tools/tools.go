@@ -1,0 +1,235 @@
+// Package tools reimplements the paper's measurement methodology: NTTCP
+// (fixed count of fixed-size writes — the primary tool, "better suited for
+// optimizing the performance between the application and the network"),
+// Iperf (data volume over a set time), NetPipe (ping-pong latency), and the
+// STREAM memory benchmark. pktgen lives on the host (host.Pktgen).
+package tools
+
+import (
+	"fmt"
+
+	"tengig/internal/host"
+	"tengig/internal/sim"
+	"tengig/internal/stats"
+	"tengig/internal/tcp"
+	"tengig/internal/units"
+)
+
+// Pair is a connected measurement endpoint pair.
+type Pair struct {
+	Eng     *sim.Engine
+	SrcHost *host.Host
+	DstHost *host.Host
+	Src     *host.Socket
+	Dst     *host.Socket
+}
+
+// Connect performs the TCP handshake, failing if it does not complete
+// within the timeout.
+func (p *Pair) Connect(timeout units.Time) error {
+	p.Dst.Listen()
+	p.Src.Connect()
+	established := func() bool {
+		return p.Src.Conn.State() == tcp.StateEstablished &&
+			p.Dst.Conn.State() == tcp.StateEstablished
+	}
+	deadline := p.Eng.Now() + timeout
+	for p.Eng.Now() < deadline && !established() {
+		if !p.Eng.Step() {
+			break
+		}
+	}
+	if !established() {
+		return fmt.Errorf("tools: handshake did not complete (src=%v dst=%v)",
+			p.Src.Conn.State(), p.Dst.Conn.State())
+	}
+	return nil
+}
+
+// ThroughputResult reports a bulk-transfer measurement.
+type ThroughputResult struct {
+	Bytes      int64
+	Elapsed    units.Time
+	Throughput units.Bandwidth
+	// SenderLoad/ReceiverLoad are loadavg-style "CPUs busy" readings
+	// sampled over the transfer.
+	SenderLoad   float64
+	ReceiverLoad float64
+	// Retransmits at the sender (loss indicator).
+	Retransmits int64
+	// Peak loads and sample count when periodic sampling was requested
+	// (IperfSampled).
+	SenderPeakLoad   float64
+	ReceiverPeakLoad float64
+	LoadSamples      int64
+}
+
+// NTTCP transfers count writes of payload bytes each and measures
+// application-to-application throughput: the clock runs from the first
+// write until the receiver has consumed every byte.
+func NTTCP(p *Pair, count, payload int, timeout units.Time) (ThroughputResult, error) {
+	if count <= 0 || payload <= 0 {
+		return ThroughputResult{}, fmt.Errorf("tools: invalid NTTCP parameters")
+	}
+	total := int64(count) * int64(payload)
+	return runTransfer(p, total, payload, timeout)
+}
+
+func runTransfer(p *Pair, total int64, payload int, timeout units.Time) (ThroughputResult, error) {
+	var received int64
+	start := p.Eng.Now()
+	srcBusy0, dstBusy0 := p.SrcHost.TotalBusy(), p.DstHost.TotalBusy()
+	var doneAt units.Time
+	p.Dst.SetAutoRead(func(n int64) {
+		received += n
+		if received >= total && doneAt == 0 {
+			doneAt = p.Eng.Now()
+		}
+	})
+	// Close after the final write, as nttcp does: the FIN pushes the tail
+	// segment immediately instead of leaving it to Nagle and delayed acks.
+	p.Src.Send(total, payload, true, nil)
+	deadline := start + timeout
+	for p.Eng.Now() < deadline && doneAt == 0 {
+		if !p.Eng.Step() {
+			break
+		}
+	}
+	if doneAt == 0 {
+		return ThroughputResult{}, fmt.Errorf("tools: transfer incomplete: %d of %d bytes (sender stats %+v)",
+			received, total, p.Src.Conn.Stats)
+	}
+	elapsed := doneAt - start
+	return ThroughputResult{
+		Bytes:        received,
+		Elapsed:      elapsed,
+		Throughput:   units.Throughput(received, elapsed),
+		SenderLoad:   (p.SrcHost.TotalBusy() - srcBusy0).Seconds() / elapsed.Seconds(),
+		ReceiverLoad: (p.DstHost.TotalBusy() - dstBusy0).Seconds() / elapsed.Seconds(),
+		Retransmits:  p.Src.Conn.Stats.Retransmits,
+	}, nil
+}
+
+// Iperf sends continuously for the given duration and reports the bytes
+// the receiver consumed in that window.
+func Iperf(p *Pair, duration units.Time) (ThroughputResult, error) {
+	return IperfSampled(p, duration, 0)
+}
+
+// IperfSampled is Iperf with periodic load sampling, mirroring the paper's
+// methodology ("we sample /proc/loadavg at five- to ten-second intervals"):
+// when interval is nonzero, both hosts' loadavg-style readings are recorded
+// per interval into the result's load series.
+func IperfSampled(p *Pair, duration, interval units.Time) (ThroughputResult, error) {
+	var received int64
+	p.Dst.SetAutoRead(func(n int64) { received += n })
+	start := p.Eng.Now()
+	srcBusy0, dstBusy0 := p.SrcHost.TotalBusy(), p.DstHost.TotalBusy()
+	// Send "forever" (bounded by a volume no LAN run can finish early).
+	p.Src.Send(1<<50, 64*1024, false, nil)
+
+	var srcSamp, dstSamp *stats.CPUSampler
+	if interval > 0 {
+		srcSamp = stats.NewCPUSampler(interval)
+		dstSamp = stats.NewCPUSampler(interval)
+		for at := start; at < start+duration; at += interval {
+			p.Eng.RunUntil(at + interval)
+			srcSamp.Sample(p.Eng.Now(), p.SrcHost)
+			dstSamp.Sample(p.Eng.Now(), p.DstHost)
+		}
+	} else {
+		p.Eng.RunUntil(start + duration)
+	}
+	elapsed := p.Eng.Now() - start
+	if received == 0 {
+		return ThroughputResult{}, fmt.Errorf("tools: iperf moved no data")
+	}
+	res := ThroughputResult{
+		Bytes:        received,
+		Elapsed:      elapsed,
+		Throughput:   units.Throughput(received, elapsed),
+		SenderLoad:   (p.SrcHost.TotalBusy() - srcBusy0).Seconds() / elapsed.Seconds(),
+		ReceiverLoad: (p.DstHost.TotalBusy() - dstBusy0).Seconds() / elapsed.Seconds(),
+		Retransmits:  p.Src.Conn.Stats.Retransmits,
+	}
+	if srcSamp != nil {
+		res.SenderPeakLoad = srcSamp.PeakLoad()
+		res.ReceiverPeakLoad = dstSamp.PeakLoad()
+		res.LoadSamples = srcSamp.Samples()
+	}
+	return res, nil
+}
+
+// LatencyPoint is one NetPipe measurement.
+type LatencyPoint struct {
+	Payload int
+	// OneWay is the averaged single-direction latency (RTT/2).
+	OneWay units.Time
+}
+
+// NetPipe measures ping-pong latency for each payload size: src sends
+// payload bytes, dst echoes the same amount on full receipt; the one-way
+// latency is the averaged round trip over reps exchanges divided by two,
+// after warmup unmeasured exchanges.
+func NetPipe(p *Pair, payloads []int, warmup, reps int, timeout units.Time) ([]LatencyPoint, error) {
+	if reps <= 0 {
+		return nil, fmt.Errorf("tools: reps must be positive")
+	}
+	out := make([]LatencyPoint, 0, len(payloads))
+	for _, size := range payloads {
+		size := size
+		var rtts stats.Summary
+		done := false
+		round := 0
+		var sendPing func()
+		var tStart units.Time
+
+		// Echo side: reply with size bytes once size bytes have arrived.
+		var dstGot int64
+		p.Dst.SetAutoRead(func(n int64) {
+			dstGot += n
+			for dstGot >= int64(size) {
+				dstGot -= int64(size)
+				p.Dst.Send(int64(size), size, false, nil)
+			}
+		})
+		// Ping side: measure completion of the echo.
+		var srcGot int64
+		p.Src.SetAutoRead(func(n int64) {
+			srcGot += n
+			for srcGot >= int64(size) {
+				srcGot -= int64(size)
+				if round > warmup {
+					rtts.Add((p.Eng.Now() - tStart).Micros())
+				}
+				if round >= warmup+reps {
+					done = true
+					return
+				}
+				sendPing()
+			}
+		})
+		sendPing = func() {
+			round++
+			tStart = p.Eng.Now()
+			p.Src.Send(int64(size), size, false, nil)
+		}
+		sendPing()
+		deadline := p.Eng.Now() + timeout
+		for !done && p.Eng.Now() < deadline {
+			if !p.Eng.Step() {
+				break
+			}
+		}
+		if !done {
+			return nil, fmt.Errorf("tools: netpipe stalled at payload %d (round %d)", size, round)
+		}
+		half := units.Time(rtts.Mean() / 2 * float64(units.Microsecond))
+		out = append(out, LatencyPoint{Payload: size, OneWay: half})
+	}
+	return out, nil
+}
+
+// Stream reports the host's STREAM copy bandwidth (the measured quantity
+// of the paper's memory-bandwidth discussion in §3.5.2).
+func Stream(h *host.Host) units.Bandwidth { return h.Mem().StreamReport() }

@@ -1,0 +1,230 @@
+package tools
+
+import (
+	"testing"
+
+	"tengig/internal/host"
+	"tengig/internal/ipv4"
+	"tengig/internal/mem"
+	"tengig/internal/nic"
+	"tengig/internal/pci"
+	"tengig/internal/phys"
+	"tengig/internal/sim"
+	"tengig/internal/tcp"
+	"tengig/internal/units"
+)
+
+// testPair builds a back-to-back pair of PE2650-flavored hosts. (The
+// calibrated profiles live in internal/core; this local copy keeps the
+// tools tests independent.)
+func testPair(t *testing.T, mtu int, buf int, coalesce units.Time) *Pair {
+	t.Helper()
+	eng := sim.NewEngine(11)
+	mk := func(name string, n int) *host.Host {
+		return host.New(eng, host.Config{
+			Name: name,
+			Addr: ipv4.HostN(n),
+			CPUs: 2,
+			Kernel: host.KernelConfig{
+				Uniprocessor: true,
+				Timestamps:   true,
+				TxQueueLen:   1000,
+			},
+			Costs: host.CostConfig{
+				Syscall:       600 * units.Nanosecond,
+				TCPTxSegment:  1600 * units.Nanosecond,
+				TCPRxSegment:  2000 * units.Nanosecond,
+				AckRx:         500 * units.Nanosecond,
+				AckTx:         500 * units.Nanosecond,
+				IRQEntry:      900 * units.Nanosecond,
+				IRQPerPacket:  900 * units.Nanosecond,
+				NAPIPerPacket: 400 * units.Nanosecond,
+				Timestamp:     150 * units.Nanosecond,
+				AllocBase:     80 * units.Nanosecond,
+				AllocPerOrder: 550 * units.Nanosecond,
+				ReadWakeup:    800 * units.Nanosecond,
+				SMPFactor:     1.5,
+				SMPBounce:     1000 * units.Nanosecond,
+				ChecksumBW:    units.FromGbps(10),
+			},
+			Mem: mem.Config{
+				BusBW:         units.FromGbps(13.2),
+				CPUCopyBW:     units.FromGbps(5.15),
+				StreamBW:      units.FromGbps(8.6),
+				DMAReadSetup:  800 * units.Nanosecond,
+				DMAReadBW:     units.FromGbps(6.5),
+				DMAWriteSetup: 200 * units.Nanosecond,
+				DMAWriteBW:    units.FromGbps(7.5),
+			},
+			PCI: pci.PCIX133(pci.MMRBCMax),
+		})
+	}
+	a, b := mk("src", 1), mk("dst", 2)
+	ncfg := nic.TenGbE(mtu)
+	ncfg.CoalesceDelay = coalesce
+	a.AddNIC(ncfg)
+	b.AddNIC(ncfg)
+	link := phys.NewLink(eng, "b2b", 10*units.GbitPerSecond, 50*units.Nanosecond, phys.EthernetFraming{})
+	link.Connect(a.NIC(0).Adapter, b.NIC(0).Adapter)
+	a.NIC(0).Adapter.AttachPort(link.AtoB)
+	b.NIC(0).Adapter.AttachPort(link.BtoA)
+	cfg := tcp.DefaultConfig(mtu)
+	cfg.SndBuf = buf
+	cfg.RcvBuf = buf
+	cfg.NoDelay = true
+	sa := a.OpenSocket(1, b.Addr(), cfg, 0)
+	sb := b.OpenSocket(1, a.Addr(), cfg, 0)
+	return &Pair{Eng: eng, SrcHost: a, DstHost: b, Src: sa, Dst: sb}
+}
+
+func TestNTTCP(t *testing.T) {
+	p := testPair(t, 9000, 256*1024, 5*units.Microsecond)
+	if err := p.Connect(units.Second); err != nil {
+		t.Fatal(err)
+	}
+	res, err := NTTCP(p, 2048, 8192, 10*units.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != 2048*8192 {
+		t.Errorf("bytes = %d", res.Bytes)
+	}
+	gbps := res.Throughput.Gbps()
+	if gbps < 2.5 || gbps > 6 {
+		t.Errorf("throughput = %.2f Gb/s", gbps)
+	}
+	if res.SenderLoad <= 0 || res.ReceiverLoad <= 0 {
+		t.Error("loads not measured")
+	}
+	if res.Retransmits != 0 {
+		t.Errorf("retransmits = %d on a clean path", res.Retransmits)
+	}
+}
+
+func TestNTTCPInvalidParams(t *testing.T) {
+	p := testPair(t, 9000, 256*1024, 0)
+	if _, err := NTTCP(p, 0, 100, units.Second); err == nil {
+		t.Error("zero count accepted")
+	}
+}
+
+func TestIperfMatchesNTTCPWithin3Percent(t *testing.T) {
+	// The paper: "the performance difference between the two is within
+	// 2-3%" for bulk rates.
+	pn := testPair(t, 9000, 256*1024, 5*units.Microsecond)
+	if err := pn.Connect(units.Second); err != nil {
+		t.Fatal(err)
+	}
+	rn, err := NTTCP(pn, 4096, 8192, 10*units.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := testPair(t, 9000, 256*1024, 5*units.Microsecond)
+	if err := pi.Connect(units.Second); err != nil {
+		t.Fatal(err)
+	}
+	ri, err := Iperf(pi, 100*units.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := ri.Throughput.Gbps() / rn.Throughput.Gbps()
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("iperf/nttcp = %.3f (nttcp %.2f, iperf %.2f Gb/s)",
+			ratio, rn.Throughput.Gbps(), ri.Throughput.Gbps())
+	}
+}
+
+func TestNetPipeLatencyShape(t *testing.T) {
+	p := testPair(t, 9000, 256*1024, 5*units.Microsecond)
+	if err := p.Connect(units.Second); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := NetPipe(p, []int{1, 256, 1024}, 2, 10, 10*units.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// One-way latency grows with payload and stays in the paper's ballpark
+	// (tens of microseconds).
+	if pts[0].OneWay <= 0 {
+		t.Fatal("non-positive latency")
+	}
+	// Latency grows with payload, modulo sub-microsecond jitter from
+	// ack/data interrupt interleaving.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].OneWay < pts[i-1].OneWay-units.Microsecond {
+			t.Errorf("latency not monotone: %v then %v", pts[i-1].OneWay, pts[i].OneWay)
+		}
+	}
+	if last := pts[len(pts)-1].OneWay; last <= pts[0].OneWay {
+		t.Errorf("1KB latency (%v) should exceed 1B latency (%v)", last, pts[0].OneWay)
+	}
+	if pts[0].OneWay > 60*units.Microsecond {
+		t.Errorf("1-byte latency = %v, implausibly high", pts[0].OneWay)
+	}
+}
+
+func TestNetPipeCoalescingDelta(t *testing.T) {
+	// Figures 6 vs 7: disabling interrupt coalescing removes ~5 us.
+	with := func(d units.Time) units.Time {
+		p := testPair(t, 9000, 256*1024, d)
+		if err := p.Connect(units.Second); err != nil {
+			t.Fatal(err)
+		}
+		pts, err := NetPipe(p, []int{1}, 2, 10, 10*units.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts[0].OneWay
+	}
+	on := with(5 * units.Microsecond)
+	off := with(0)
+	delta := on - off
+	if delta < 4*units.Microsecond || delta > 8*units.Microsecond {
+		t.Errorf("coalescing delta = %v, want ~5us (on=%v off=%v)", delta, on, off)
+	}
+}
+
+func TestStream(t *testing.T) {
+	p := testPair(t, 9000, 64*1024, 0)
+	if got := Stream(p.SrcHost).Gbps(); got != 8.6 {
+		t.Errorf("stream = %v", got)
+	}
+}
+
+func TestConnectTimeout(t *testing.T) {
+	// A pair whose link is never attached cannot complete the handshake.
+	eng := sim.NewEngine(3)
+	mkHost := func(name string, n int) *host.Host {
+		return host.New(eng, host.Config{
+			Name: name, Addr: ipv4.HostN(n), CPUs: 1,
+			Kernel: host.KernelConfig{Uniprocessor: true, TxQueueLen: 10},
+			Costs: host.CostConfig{
+				SMPFactor: 1, ChecksumBW: units.GbitPerSecond,
+			},
+			Mem: mem.Config{
+				BusBW: units.GbitPerSecond, CPUCopyBW: units.GbitPerSecond,
+				StreamBW: units.GbitPerSecond, DMAReadBW: units.GbitPerSecond,
+				DMAWriteBW: units.GbitPerSecond,
+			},
+			PCI: pci.PCIX133(512),
+		})
+	}
+	a, b := mkHost("a", 1), mkHost("b", 2)
+	a.AddNIC(nic.TenGbE(1500))
+	b.AddNIC(nic.TenGbE(1500))
+	// Attach a's port to a link that leads nowhere useful (loop to a).
+	link := phys.NewLink(eng, "dangling", 10*units.GbitPerSecond, 0, phys.EthernetFraming{})
+	link.Connect(a.NIC(0).Adapter, a.NIC(0).Adapter)
+	a.NIC(0).Adapter.AttachPort(link.AtoB)
+	b.NIC(0).Adapter.AttachPort(link.BtoA)
+	cfg := tcp.DefaultConfig(1500)
+	sa := a.OpenSocket(1, b.Addr(), cfg, 0)
+	sb := b.OpenSocket(1, a.Addr(), cfg, 0)
+	p := &Pair{Eng: eng, SrcHost: a, DstHost: b, Src: sa, Dst: sb}
+	if err := p.Connect(10 * units.Millisecond); err == nil {
+		t.Error("expected handshake failure")
+	}
+}

@@ -1,0 +1,226 @@
+// Package trace is the simulator's analog of MAGNET (Gardner et al.,
+// CCGrid 2003), the Los Alamos kernel instrumentation the paper uses to
+// profile the paths individual packets take through the TCP stack. Stack
+// components emit tracepoints as a packet moves through named stages; the
+// tracer aggregates per-stage costs and per-path counts so experiments can
+// answer the paper's questions: how many packets take each path, what each
+// path costs, and where the time goes.
+//
+// Like MAGNET, tracing can sample a random subset of packets so that the
+// instrumentation itself has negligible effect (here: allocation cost only).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tengig/internal/stats"
+	"tengig/internal/units"
+)
+
+// Stage identifies a point in the packet path.
+type Stage string
+
+// The canonical stages, in path order. Components may add their own.
+const (
+	StageAppWrite  Stage = "app_write"
+	StageTCPOut    Stage = "tcp_out"
+	StageIPOut     Stage = "ip_out"
+	StageDriverTx  Stage = "driver_tx"
+	StageDMATx     Stage = "dma_tx"
+	StageWire      Stage = "wire"
+	StageDMARx     Stage = "dma_rx"
+	StageIRQ       Stage = "irq"
+	StageIPIn      Stage = "ip_in"
+	StageTCPIn     Stage = "tcp_in"
+	StageSockQueue Stage = "sock_queue"
+	StageAppRead   Stage = "app_read"
+	// Exception-path stages.
+	StageRetransmit Stage = "retransmit"
+	StageOutOfOrder Stage = "out_of_order"
+	StageDrop       Stage = "drop"
+)
+
+// point is one tracepoint hit.
+type point struct {
+	stage Stage
+	at    units.Time
+}
+
+// packetTrace is the record for one sampled packet.
+type packetTrace struct {
+	id     uint64
+	points []point
+}
+
+// Tracer collects tracepoints. A nil *Tracer is valid and records nothing,
+// so components can hold one unconditionally.
+type Tracer struct {
+	sampleEvery uint64 // trace one packet in every sampleEvery (1 = all)
+	seen        uint64
+	live        map[uint64]*packetTrace
+	finished    []*packetTrace
+	maxRetained int
+	// aggregated per-stage inter-point latency
+	stageCost map[Stage]*stats.Summary
+	pathCount map[string]int64
+}
+
+// New returns a Tracer sampling one packet in every sampleEvery (use 1 to
+// trace everything). maxRetained bounds the number of completed packet
+// traces kept for inspection; aggregates are unaffected by the bound.
+func New(sampleEvery uint64, maxRetained int) *Tracer {
+	if sampleEvery == 0 {
+		sampleEvery = 1
+	}
+	if maxRetained < 0 {
+		maxRetained = 0
+	}
+	return &Tracer{
+		sampleEvery: sampleEvery,
+		live:        make(map[uint64]*packetTrace),
+		maxRetained: maxRetained,
+		stageCost:   make(map[Stage]*stats.Summary),
+		pathCount:   make(map[string]int64),
+	}
+}
+
+// Admit decides whether packet id should be traced, starting its record if
+// so. Call once per packet at the first tracepoint.
+func (t *Tracer) Admit(id uint64) bool {
+	if t == nil {
+		return false
+	}
+	t.seen++
+	if t.seen%t.sampleEvery != 0 {
+		return false
+	}
+	t.live[id] = &packetTrace{id: id}
+	return true
+}
+
+// Hit records packet id reaching stage at time now. Unknown (unsampled)
+// packets are ignored, so callers need not track sampling decisions.
+func (t *Tracer) Hit(id uint64, stage Stage, now units.Time) {
+	if t == nil {
+		return
+	}
+	pt, ok := t.live[id]
+	if !ok {
+		return
+	}
+	if n := len(pt.points); n > 0 {
+		prev := pt.points[n-1]
+		s := t.stageCost[stage]
+		if s == nil {
+			s = &stats.Summary{}
+			t.stageCost[stage] = s
+		}
+		s.Add((now - prev.at).Micros())
+	}
+	pt.points = append(pt.points, point{stage: stage, at: now})
+}
+
+// Finish closes packet id's record, classifying its path.
+func (t *Tracer) Finish(id uint64) {
+	if t == nil {
+		return
+	}
+	pt, ok := t.live[id]
+	if !ok {
+		return
+	}
+	delete(t.live, id)
+	t.pathCount[pathKey(pt)]++
+	if len(t.finished) < t.maxRetained {
+		t.finished = append(t.finished, pt)
+	}
+}
+
+func pathKey(pt *packetTrace) string {
+	var b strings.Builder
+	for i, p := range pt.points {
+		if i > 0 {
+			b.WriteByte('>')
+		}
+		b.WriteString(string(p.stage))
+	}
+	return b.String()
+}
+
+// Sampled returns how many packets were admitted for tracing.
+func (t *Tracer) Sampled() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.live) + int(t.totalPaths())
+}
+
+func (t *Tracer) totalPaths() int64 {
+	var n int64
+	for _, c := range t.pathCount {
+		n += c
+	}
+	return n
+}
+
+// StageCost returns the mean microseconds spent entering stage (time since
+// the previous tracepoint), and the sample count.
+func (t *Tracer) StageCost(stage Stage) (meanMicros float64, n int64) {
+	if t == nil {
+		return 0, 0
+	}
+	s := t.stageCost[stage]
+	if s == nil {
+		return 0, 0
+	}
+	return s.Mean(), s.N()
+}
+
+// PathCounts returns path-signature → count for all finished packets,
+// sorted by descending count.
+func (t *Tracer) PathCounts() []PathCount {
+	if t == nil {
+		return nil
+	}
+	out := make([]PathCount, 0, len(t.pathCount))
+	for k, v := range t.pathCount {
+		out = append(out, PathCount{Path: k, Count: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Path < out[j].Path
+	})
+	return out
+}
+
+// PathCount pairs a path signature with how many sampled packets took it.
+type PathCount struct {
+	Path  string
+	Count int64
+}
+
+// Report renders a human-readable profile, like MAGNET's post-processing.
+func (t *Tracer) Report() string {
+	if t == nil {
+		return "trace: disabled\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d packets sampled\n", t.totalPaths())
+	for _, pc := range t.PathCounts() {
+		fmt.Fprintf(&b, "  path %-60s ×%d\n", pc.Path, pc.Count)
+	}
+	stages := make([]Stage, 0, len(t.stageCost))
+	for s := range t.stageCost {
+		stages = append(stages, s)
+	}
+	sort.Slice(stages, func(i, j int) bool { return stages[i] < stages[j] })
+	for _, s := range stages {
+		mean, n := t.StageCost(s)
+		fmt.Fprintf(&b, "  stage %-12s mean %8.3f us  (n=%d)\n", s, mean, n)
+	}
+	return b.String()
+}

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"tengig/internal/units"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Admit(1) {
+		t.Error("nil tracer admitted a packet")
+	}
+	tr.Hit(1, StageWire, 0)
+	tr.Finish(1)
+	if tr.Sampled() != 0 {
+		t.Error("nil tracer sampled")
+	}
+	if got, n := tr.StageCost(StageWire); got != 0 || n != 0 {
+		t.Error("nil tracer has stage cost")
+	}
+	if tr.PathCounts() != nil {
+		t.Error("nil tracer has paths")
+	}
+	if !strings.Contains(tr.Report(), "disabled") {
+		t.Error("nil tracer report")
+	}
+}
+
+func TestFullTrace(t *testing.T) {
+	tr := New(1, 100)
+	for id := uint64(1); id <= 3; id++ {
+		if !tr.Admit(id) {
+			t.Fatalf("packet %d not admitted with sampleEvery=1", id)
+		}
+		base := units.Time(id) * units.Microsecond
+		tr.Hit(id, StageTCPOut, base)
+		tr.Hit(id, StageWire, base+2*units.Microsecond)
+		tr.Hit(id, StageTCPIn, base+5*units.Microsecond)
+		tr.Finish(id)
+	}
+	mean, n := tr.StageCost(StageWire)
+	if n != 3 || mean != 2 {
+		t.Errorf("wire cost = %v (n=%d), want 2us x3", mean, n)
+	}
+	mean, n = tr.StageCost(StageTCPIn)
+	if n != 3 || mean != 3 {
+		t.Errorf("tcp_in cost = %v (n=%d), want 3us x3", mean, n)
+	}
+	paths := tr.PathCounts()
+	if len(paths) != 1 || paths[0].Count != 3 {
+		t.Fatalf("paths = %+v", paths)
+	}
+	if want := "tcp_out>wire>tcp_in"; paths[0].Path != want {
+		t.Errorf("path = %q, want %q", paths[0].Path, want)
+	}
+}
+
+func TestSampling(t *testing.T) {
+	tr := New(10, 0)
+	admitted := 0
+	for id := uint64(0); id < 100; id++ {
+		if tr.Admit(id) {
+			tr.Hit(id, StageWire, 0)
+			tr.Finish(id)
+			admitted++
+		}
+	}
+	if admitted != 10 {
+		t.Errorf("admitted %d of 100 with sampleEvery=10", admitted)
+	}
+}
+
+func TestSampleEveryZeroMeansAll(t *testing.T) {
+	tr := New(0, 0)
+	if !tr.Admit(1) {
+		t.Error("sampleEvery=0 should trace everything")
+	}
+}
+
+func TestUnsampledHitsIgnored(t *testing.T) {
+	tr := New(1, 10)
+	tr.Hit(99, StageWire, 0) // never admitted
+	tr.Finish(99)
+	if len(tr.PathCounts()) != 0 {
+		t.Error("unsampled packet produced a path")
+	}
+}
+
+func TestDistinctPaths(t *testing.T) {
+	tr := New(1, 10)
+	// Fast path.
+	tr.Admit(1)
+	tr.Hit(1, StageTCPIn, 0)
+	tr.Finish(1)
+	// Exception path.
+	tr.Admit(2)
+	tr.Hit(2, StageTCPIn, 0)
+	tr.Hit(2, StageOutOfOrder, units.Microsecond)
+	tr.Finish(2)
+	tr.Admit(3)
+	tr.Hit(3, StageTCPIn, 0)
+	tr.Finish(3)
+	paths := tr.PathCounts()
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths", len(paths))
+	}
+	if paths[0].Path != "tcp_in" || paths[0].Count != 2 {
+		t.Errorf("dominant path = %+v", paths[0])
+	}
+	rep := tr.Report()
+	if !strings.Contains(rep, "out_of_order") || !strings.Contains(rep, "×2") {
+		t.Errorf("report missing data:\n%s", rep)
+	}
+}
+
+func TestRetentionBound(t *testing.T) {
+	tr := New(1, 2)
+	for id := uint64(0); id < 10; id++ {
+		tr.Admit(id)
+		tr.Hit(id, StageWire, 0)
+		tr.Finish(id)
+	}
+	if len(tr.finished) != 2 {
+		t.Errorf("retained %d traces, want 2", len(tr.finished))
+	}
+	// Aggregates still see all ten.
+	if tr.PathCounts()[0].Count != 10 {
+		t.Error("aggregate lost packets")
+	}
+}

@@ -1,0 +1,27 @@
+package units_test
+
+import (
+	"fmt"
+
+	"tengig/internal/units"
+)
+
+// A 9018-byte jumbo frame takes ~7.2 microseconds on 10GbE.
+func ExampleTimeToSend() {
+	fmt.Println(units.TimeToSend(9018, 10*units.GbitPerSecond))
+	// Output: 7.214us
+}
+
+// The paper's headline throughput, formatted.
+func ExampleBandwidth_String() {
+	fmt.Println(units.FromGbps(4.11))
+	// Output: 4.11Gb/s
+}
+
+// Moving a terabyte at the record rate takes under an hour.
+func ExampleThroughput() {
+	rate := units.FromGbps(2.38)
+	seconds := 8e12 / float64(rate)
+	fmt.Printf("%.0f minutes\n", seconds/60)
+	// Output: 56 minutes
+}
