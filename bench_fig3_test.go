@@ -16,11 +16,17 @@ var benchPayloads = []int{1024, 2048, 4096, 6000, 7436, 8148, 8948, 12288, 16384
 
 const benchCount = 2000
 
+// benchWorkers fans the independent payload points of every benchmark
+// sweep across one worker per CPU. Result rows are identical to a serial
+// run (each point owns a seed-deterministic engine); only wall-clock
+// changes.
+const benchWorkers = -1
+
 func runSweep(b *testing.B, p core.Profile, t core.Tuning) *core.SweepResult {
 	b.Helper()
 	res, err := core.SweepConfig{
 		Seed: 1, Profile: p, Tuning: t,
-		Payloads: benchPayloads, Count: benchCount,
+		Payloads: benchPayloads, Count: benchCount, Workers: benchWorkers,
 	}.Run()
 	if err != nil {
 		b.Fatal(err)
@@ -77,7 +83,7 @@ func BenchmarkFigure3_WindowDipCharacterization(b *testing.B) {
 		run := func(t core.Tuning) (min, mean float64) {
 			res, err := core.SweepConfig{
 				Seed: 1, Profile: core.PE2650, Tuning: t,
-				Payloads: fine, Count: benchCount,
+				Payloads: fine, Count: benchCount, Workers: benchWorkers,
 			}.Run()
 			if err != nil {
 				b.Fatal(err)

@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"strings"
 
 	"tengig/internal/compare"
 	"tengig/internal/core"
@@ -33,18 +35,37 @@ import (
 )
 
 var (
-	fig   = flag.Int("fig", 0, "figure number to regenerate (3-8)")
-	table = flag.Int("table", 0, "table number to regenerate (1)")
-	exp   = flag.String("exp", "", "named experiment: ladder|wan|multiflow|compare|anecdotes|mtu")
-	all   = flag.Bool("all", false, "run everything")
-	full  = flag.Bool("full", false, "paper-resolution sweep (32768 writes, fine payload grid)")
-	csv   = flag.Bool("csv", false, "emit CSV rows instead of aligned tables (for plotting)")
-	seed  = flag.Int64("seed", 1, "simulation seed")
+	fig      = flag.Int("fig", 0, "figure number to regenerate (3-8)")
+	table    = flag.Int("table", 0, "table number to regenerate (1)")
+	exp      = flag.String("exp", "", "named experiment: ladder|wan|multiflow|compare|anecdotes|mtu")
+	all      = flag.Bool("all", false, "run everything")
+	full     = flag.Bool("full", false, "paper-resolution sweep (32768 writes, fine payload grid)")
+	csv      = flag.Bool("csv", false, "emit CSV rows instead of aligned tables (for plotting)")
+	seed     = flag.Int64("seed", 1, "simulation seed")
+	parallel = flag.Bool("parallel", false, "fan independent simulation points across one worker per CPU (identical rows, less wall-clock)")
+	nworkers = flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
+	verify   = flag.Bool("verify-determinism", false, "run a sampled sweep subset twice — serial and parallel — and diff the result rows")
 )
+
+// workers returns the experiment-level worker count from the flags:
+// serial unless -parallel is set.
+func workers() int {
+	if !*parallel {
+		return 1
+	}
+	if *nworkers > 0 {
+		return *nworkers
+	}
+	return -1 // one per CPU
+}
 
 func main() {
 	log.SetFlags(0)
 	flag.Parse()
+	if *verify {
+		verifyDeterminism()
+		return
+	}
 	ran := false
 	run := func(cond bool, f func()) {
 		if cond || *all {
@@ -93,12 +114,75 @@ func count() int {
 func sweep(p core.Profile, t core.Tuning) *core.SweepResult {
 	res, err := core.SweepConfig{
 		Seed: *seed, Profile: p, Tuning: t,
-		Payloads: payloads(), Count: count(),
+		Payloads: payloads(), Count: count(), Workers: workers(),
 	}.Run()
 	if err != nil {
 		log.Fatalf("sweep: %v", err)
 	}
 	return res
+}
+
+// rowsString renders a sweep's result rows in a canonical form for the
+// determinism cross-check: any divergence between a serial and a parallel
+// run shows up as a byte difference.
+func rowsString(res *core.SweepResult) string {
+	var b strings.Builder
+	for _, pt := range res.Points {
+		fmt.Fprintf(&b, "%s,%d,%.9f,%.6f,%.6f\n",
+			res.Label, pt.Payload, pt.Throughput.Gbps(), pt.SenderLoad, pt.ReceiverLoad)
+	}
+	return b.String()
+}
+
+// verifyDeterminism runs a sampled subset of the Figure 3/4 sweeps twice —
+// once serial, once across the worker pool — and diffs the result rows.
+// Identical rows prove that parallel scheduling cannot leak into simulation
+// results (every point owns a private, seed-deterministic engine).
+func verifyDeterminism() {
+	samples := []struct {
+		name string
+		p    core.Profile
+		t    core.Tuning
+	}{
+		{"fig3-stock-1500", core.PE2650, core.Stock(1500)},
+		{"fig3-stock-9000", core.PE2650, core.Stock(9000)},
+		{"fig4-optimized-9000", core.PE2650, core.Optimized(9000)},
+	}
+	grid := []int{1024, 4096, 8148, 16384}
+	const verifyCount = 600
+	failed := false
+	for _, s := range samples {
+		runOnce := func(w int) string {
+			res, err := core.SweepConfig{
+				Seed: *seed, Profile: s.p, Tuning: s.t,
+				Payloads: grid, Count: verifyCount, Workers: w,
+			}.Run()
+			if err != nil {
+				log.Fatalf("verify-determinism %s: %v", s.name, err)
+			}
+			return rowsString(res)
+		}
+		// Pin the pool to several workers even on a single-core machine so
+		// the concurrent dispatch path is always the one under test.
+		poolWorkers := runtime.GOMAXPROCS(0)
+		if poolWorkers < 4 {
+			poolWorkers = 4
+		}
+		serial := runOnce(1)
+		fanned := runOnce(poolWorkers)
+		if serial == fanned {
+			fmt.Printf("ok   %-22s %d rows identical serial vs %d workers\n",
+				s.name, len(grid), poolWorkers)
+			continue
+		}
+		failed = true
+		fmt.Printf("FAIL %s: serial and parallel rows differ\n", s.name)
+		fmt.Printf("--- serial\n%s--- parallel\n%s", serial, fanned)
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("determinism verified: parallel rows are byte-identical to serial rows")
 }
 
 func printSeries(res *core.SweepResult) {
@@ -202,7 +286,7 @@ func table1() {
 func ladder() {
 	fmt.Println("== §3.3 optimization ladder (9000-byte MTU) ==")
 	fmt.Println("paper peaks: stock 2.7 -> +MMRBC 3.6 -> +UP ~3.6 -> +256K 3.9 Gb/s")
-	steps, err := core.RunLadder(*seed, core.PE2650, 9000, payloads(), count())
+	steps, err := core.RunLadder(*seed, core.PE2650, 9000, payloads(), count(), workers())
 	if err != nil {
 		log.Fatalf("ladder: %v", err)
 	}
@@ -240,17 +324,20 @@ func wanRecord() {
 
 func multiflow() {
 	fmt.Println("== §3.5.2: multi-flow aggregation through the FastIron 1500 ==")
-	agg := func(reverse bool, nics int) core.MultiFlowResult {
-		m, err := core.NewMultiFlowNICs(*seed, core.PE2650, core.Optimized(9000),
-			6, core.GbESenders, reverse, nics)
-		if err != nil {
-			log.Fatalf("multiflow: %v", err)
+	spec := func(label string, reverse bool, nics int) core.MultiFlowSpec {
+		return core.MultiFlowSpec{
+			Label: label, Seed: *seed, Profile: core.PE2650,
+			Tuning: core.Optimized(9000), Senders: 6, Kind: core.GbESenders,
+			Reverse: reverse, SinkNICs: nics, Duration: 200 * units.Millisecond,
 		}
-		return core.RunMultiFlow(m, 200*units.Millisecond)
 	}
-	rx := agg(false, 1)
-	tx := agg(true, 1)
-	two := agg(false, 2)
+	results, err := core.RunMultiFlows([]core.MultiFlowSpec{
+		spec("rx", false, 1), spec("tx", true, 1), spec("two-nics", false, 2),
+	}, workers())
+	if err != nil {
+		log.Fatalf("multiflow: %v", err)
+	}
+	rx, tx, two := results[0], results[1], results[2]
 	fmt.Printf("6 GbE senders -> one 10GbE PE2650:   %v\n", rx.Aggregate)
 	fmt.Printf("one 10GbE PE2650 -> 6 GbE receivers: %v  (tx/rx %.2f; paper: equal)\n",
 		tx.Aggregate, tx.Aggregate.Gbps()/rx.Aggregate.Gbps())
@@ -288,7 +375,7 @@ func mtuSweep() {
 	fmt.Println("== MTU sweep (extension): the allocator-block sawtooth ==")
 	fmt.Println("throughput climbs with MTU, then dips past each power-of-2 block boundary")
 	mtus := []int{1500, 3000, 4000, 4200, 6000, 8000, 8160, 8400, 9000, 12000, 16000}
-	pts, err := core.MTUSweep(*seed, core.PE2650, mtus, 16384, count())
+	pts, err := core.MTUSweep(*seed, core.PE2650, mtus, 16384, count(), workers())
 	if err != nil {
 		log.Fatalf("mtu: %v", err)
 	}

@@ -14,6 +14,7 @@ func measure(name string, t core.Tuning) {
 	res, err := core.SweepConfig{
 		Seed: 1, Profile: core.PE2650, Tuning: t,
 		Payloads: []int{4096, 8148, 8948, 16384}, Count: 3000,
+		Workers: -1, // independent points, one worker per CPU
 	}.Run()
 	if err != nil {
 		log.Fatal(err)

@@ -3,6 +3,7 @@ package core
 import (
 	"tengig/internal/alloc"
 	"tengig/internal/ethernet"
+	"tengig/internal/runner"
 	"tengig/internal/tcp"
 	"tengig/internal/units"
 )
@@ -82,13 +83,15 @@ func LadderRungs(mtu int) []struct {
 	}
 }
 
-// RunLadder executes the full ladder, one sweep per rung.
-func RunLadder(seed int64, p Profile, mtu int, payloads []int, count int) ([]LadderStep, error) {
+// RunLadder executes the full ladder, one sweep per rung. workers fans
+// each rung's payload points across the pool (0 or 1 = serial, negative =
+// one per CPU); rungs themselves run in order.
+func RunLadder(seed int64, p Profile, mtu int, payloads []int, count, workers int) ([]LadderStep, error) {
 	var steps []LadderStep
 	for _, rung := range LadderRungs(mtu) {
 		res, err := SweepConfig{
 			Seed: seed, Profile: p, Tuning: rung.Tuning,
-			Payloads: payloads, Count: count,
+			Payloads: payloads, Count: count, Workers: workers,
 		}.Run()
 		if err != nil {
 			return nil, err
@@ -111,23 +114,25 @@ type MTUPoint struct {
 // power-of-2 block boundaries produce a sawtooth: throughput climbs with
 // MTU, then dips just past each block boundary (8160 fits an 8 KB block;
 // 8200 does not).
-func MTUSweep(seed int64, p Profile, mtus []int, payload, count int) ([]MTUPoint, error) {
-	var out []MTUPoint
-	for _, mtu := range mtus {
-		res, err := SweepConfig{
-			Seed: seed, Profile: p, Tuning: Optimized(mtu),
-			Payloads: []int{payload}, Count: count,
-		}.Run()
-		if err != nil {
-			return nil, err
-		}
-		_, peak := res.Peak()
-		out = append(out, MTUPoint{
-			MTU:       mtu,
-			BlockSize: alloc.BlockFor(mtu + ethernet.HeaderLen),
-			Peak:      peak,
-			Mean:      res.Mean(),
+// Each MTU is a one-payload sweep on its own engine, so workers fans the
+// MTUs themselves across the pool (0 or 1 = serial, negative = one per
+// CPU) with input-ordered, scheduling-independent results.
+func MTUSweep(seed int64, p Profile, mtus []int, payload, count, workers int) ([]MTUPoint, error) {
+	return runner.Map(mtus, NormalizeWorkers(workers),
+		func(_ int, mtu int) (MTUPoint, error) {
+			res, err := SweepConfig{
+				Seed: seed, Profile: p, Tuning: Optimized(mtu),
+				Payloads: []int{payload}, Count: count,
+			}.Run()
+			if err != nil {
+				return MTUPoint{}, err
+			}
+			_, peak := res.Peak()
+			return MTUPoint{
+				MTU:       mtu,
+				BlockSize: alloc.BlockFor(mtu + ethernet.HeaderLen),
+				Peak:      peak,
+				Mean:      res.Mean(),
+			}, nil
 		})
-	}
-	return out, nil
 }

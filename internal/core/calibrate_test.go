@@ -20,6 +20,7 @@ func sweepPeak(t *testing.T, p Profile, tun Tuning) (peak, mean float64) {
 		Seed: 1, Profile: p, Tuning: tun,
 		Payloads: []int{4096, 8148, 8948, 16384},
 		Count:    2000,
+		Workers:  -1, // identical rows, less wall-clock
 	}.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -192,7 +193,7 @@ func TestCalibrationAllocatorSawtooth(t *testing.T) {
 	// Generalizing Figure 5: crossing a power-of-2 allocator block boundary
 	// costs throughput even though the MTU grew. 4000 (4 KB block) beats
 	// 4200 (8 KB block); 8160 (8 KB) beats 8400 (16 KB).
-	pts, err := MTUSweep(1, PE2650, []int{4000, 4200, 8160, 8400}, 16384, 2000)
+	pts, err := MTUSweep(1, PE2650, []int{4000, 4200, 8160, 8400}, 16384, 2000, -1)
 	if err != nil {
 		t.Fatal(err)
 	}

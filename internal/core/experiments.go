@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tengig/internal/host"
+	"tengig/internal/runner"
 	"tengig/internal/stats"
 	"tengig/internal/tools"
 	"tengig/internal/units"
@@ -25,6 +26,11 @@ type SweepConfig struct {
 	ViaSwitch bool
 	// Timeout bounds each point's simulated time.
 	Timeout units.Time
+	// Workers fans the payload points out across a worker pool. Each point
+	// builds a private engine seeded from Seed, so the result rows are
+	// byte-identical to a serial run regardless of scheduling. 0 or 1 runs
+	// serially; negative uses one worker per CPU.
+	Workers int
 }
 
 // DefaultPayloads returns the sweep grid: log-spaced across 128 B – 16 KB
@@ -68,7 +74,9 @@ func (r *SweepResult) MeanOver(lo int) units.Bandwidth {
 }
 
 // Run executes the sweep: a fresh testbed per payload point (as the paper
-// restarts NTTCP per measurement), reporting Gb/s per payload.
+// restarts NTTCP per measurement), reporting Gb/s per payload. Points are
+// independent simulations, so Workers > 1 fans them out without changing
+// any result row.
 func (c SweepConfig) Run() (*SweepResult, error) {
 	if c.Count <= 0 {
 		c.Count = 3000
@@ -79,21 +87,40 @@ func (c SweepConfig) Run() (*SweepResult, error) {
 	if c.Timeout == 0 {
 		c.Timeout = 30 * units.Second
 	}
-	res := &SweepResult{Label: c.Tuning.Label()}
+	pts, err := runner.Map(c.Payloads, NormalizeWorkers(c.Workers),
+		func(_ int, payload int) (Point, error) {
+			pair, err := c.newPair()
+			if err != nil {
+				return Point{}, err
+			}
+			r, err := tools.NTTCP(pair, c.Count, payload, c.Timeout)
+			if err != nil {
+				return Point{}, fmt.Errorf("payload %d: %w", payload, err)
+			}
+			return Point{Payload: payload, ThroughputResult: r}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	res := &SweepResult{Label: c.Tuning.Label(), Points: pts}
 	res.Series.Name = res.Label
-	for _, payload := range c.Payloads {
-		pair, err := c.newPair()
-		if err != nil {
-			return nil, err
-		}
-		r, err := tools.NTTCP(pair, c.Count, payload, c.Timeout)
-		if err != nil {
-			return nil, fmt.Errorf("payload %d: %w", payload, err)
-		}
-		res.Series.Add(float64(payload), r.Throughput.Gbps())
-		res.Points = append(res.Points, Point{Payload: payload, ThroughputResult: r})
+	for _, pt := range pts {
+		res.Series.Add(float64(pt.Payload), pt.Throughput.Gbps())
 	}
 	return res, nil
+}
+
+// NormalizeWorkers maps the experiment-level worker convention (0 or 1 =
+// serial, negative = one per CPU) onto runner.Options.Workers (where <= 0
+// already means one per CPU).
+func NormalizeWorkers(w int) int {
+	if w == 0 {
+		return 1
+	}
+	if w < 0 {
+		return 0
+	}
+	return w
 }
 
 func (c SweepConfig) newPair() (*tools.Pair, error) {
@@ -165,6 +192,38 @@ type MultiFlowResult struct {
 	Aggregate units.Bandwidth
 	PerFlow   []units.Bandwidth
 	Elapsed   units.Time
+}
+
+// MultiFlowSpec describes one aggregation run for RunMultiFlows.
+type MultiFlowSpec struct {
+	Label    string
+	Seed     int64
+	Profile  Profile
+	Tuning   Tuning
+	Senders  int
+	Kind     SenderKind
+	Reverse  bool
+	SinkNICs int
+	Duration units.Time
+}
+
+// RunMultiFlows builds and drives each aggregation spec on a private
+// engine, fanned across the worker pool, returning results in input order
+// (0 or 1 workers = serial, negative = one per CPU).
+func RunMultiFlows(specs []MultiFlowSpec, workers int) ([]MultiFlowResult, error) {
+	return runner.Map(specs, NormalizeWorkers(workers),
+		func(_ int, s MultiFlowSpec) (MultiFlowResult, error) {
+			nics := s.SinkNICs
+			if nics == 0 {
+				nics = 1
+			}
+			m, err := NewMultiFlowNICs(s.Seed, s.Profile, s.Tuning,
+				s.Senders, s.Kind, s.Reverse, nics)
+			if err != nil {
+				return MultiFlowResult{}, fmt.Errorf("%s: %w", s.Label, err)
+			}
+			return RunMultiFlow(m, s.Duration), nil
+		})
 }
 
 // RunMultiFlow drives every pair simultaneously for the duration and

@@ -38,7 +38,7 @@ func TestProbeMatrix(t *testing.T) {
 	}
 	for _, c := range cases {
 		res, err := SweepConfig{Seed: 1, Profile: c.p, Tuning: c.tun,
-			Payloads: payloads, Count: count}.Run()
+			Payloads: payloads, Count: count, Workers: -1}.Run()
 		if err != nil {
 			t.Errorf("%s: %v", c.name, err)
 			continue

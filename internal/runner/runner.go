@@ -1,0 +1,148 @@
+// Package runner executes independent experiment runs across a worker
+// pool. Every run owns a private sim.Engine (constructed inside its
+// closure and seeded from the run spec), so results are identical
+// regardless of worker count or scheduling: parallelism lives strictly at
+// the experiment level, never inside a simulation.
+//
+// Results come back in input order, each with its wall-clock time. A run
+// that panics is reported as a failed Result rather than crashing the
+// whole sweep.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Spec is one unit of work: a labeled closure that builds, runs, and
+// summarizes a private simulation. The closure must not share mutable
+// state with other specs.
+type Spec struct {
+	Label string
+	Run   func() (any, error)
+}
+
+// Result is the outcome of one Spec, reported at the spec's input index.
+type Result struct {
+	Index int
+	Label string
+	Value any
+	Err   error
+	// Wall is the host wall-clock time the run took (not simulated time).
+	Wall time.Duration
+}
+
+// Options configure a Run.
+type Options struct {
+	// Workers is the pool size: 1 runs every spec serially on the calling
+	// goroutine; 0 or negative uses one worker per CPU (GOMAXPROCS).
+	Workers int
+	// Progress, if set, is called after each run completes with the number
+	// finished so far. Calls are serialized but may arrive out of input
+	// order when Workers > 1.
+	Progress func(done, total int, r Result)
+}
+
+// Workers resolves the configured pool size.
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// Run executes every spec and returns their results in input order.
+func Run(specs []Spec, opt Options) []Result {
+	results := make([]Result, len(specs))
+	if len(specs) == 0 {
+		return results
+	}
+
+	var mu sync.Mutex
+	done := 0
+	report := func(r Result) {
+		if opt.Progress == nil {
+			return
+		}
+		mu.Lock()
+		done++
+		opt.Progress(done, len(specs), r)
+		mu.Unlock()
+	}
+
+	exec := func(i int) {
+		r := Result{Index: i, Label: specs[i].Label}
+		start := time.Now()
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					r.Err = fmt.Errorf("runner: run %d (%s) panicked: %v\n%s",
+						i, specs[i].Label, p, debug.Stack())
+				}
+			}()
+			r.Value, r.Err = specs[i].Run()
+		}()
+		r.Wall = time.Since(start)
+		results[i] = r
+		report(r)
+	}
+
+	workers := opt.workers(len(specs))
+	if workers == 1 {
+		for i := range specs {
+			exec(i)
+		}
+		return results
+	}
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				exec(i)
+			}
+		}()
+	}
+	for i := range specs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+// Map fans f over items and returns the outputs in input order. workers
+// follows Options.Workers semantics (1 = serial, <=0 = one per CPU). The
+// first failure in input order — including a captured panic — is returned
+// as the error.
+func Map[T, R any](items []T, workers int, f func(i int, item T) (R, error)) ([]R, error) {
+	specs := make([]Spec, len(items))
+	for i, item := range items {
+		i, item := i, item
+		specs[i] = Spec{
+			Label: fmt.Sprintf("%v", item),
+			Run:   func() (any, error) { return f(i, item) },
+		}
+	}
+	rs := Run(specs, Options{Workers: workers})
+	out := make([]R, len(items))
+	for i, r := range rs {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		if v, ok := r.Value.(R); ok {
+			out[i] = v
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,172 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"tengig/internal/sim"
+	"tengig/internal/units"
+)
+
+func TestResultsInInputOrder(t *testing.T) {
+	specs := make([]Spec, 50)
+	for i := range specs {
+		i := i
+		specs[i] = Spec{
+			Label: fmt.Sprintf("run%d", i),
+			Run:   func() (any, error) { return i * i, nil },
+		}
+	}
+	for _, workers := range []int{1, 2, 7, 0} {
+		rs := Run(specs, Options{Workers: workers})
+		if len(rs) != len(specs) {
+			t.Fatalf("workers=%d: %d results", workers, len(rs))
+		}
+		for i, r := range rs {
+			if r.Index != i || r.Value.(int) != i*i || r.Label != specs[i].Label {
+				t.Fatalf("workers=%d: result %d out of order: %+v", workers, i, r)
+			}
+			if r.Err != nil {
+				t.Fatalf("workers=%d: unexpected error: %v", workers, r.Err)
+			}
+		}
+	}
+}
+
+func TestPanicBecomesFailedRow(t *testing.T) {
+	boom := Spec{Label: "boom", Run: func() (any, error) { panic("kaboom") }}
+	ok := Spec{Label: "ok", Run: func() (any, error) { return "fine", nil }}
+	rs := Run([]Spec{ok, boom, ok}, Options{Workers: 2})
+	if rs[0].Err != nil || rs[2].Err != nil {
+		t.Fatalf("healthy runs failed: %v %v", rs[0].Err, rs[2].Err)
+	}
+	if rs[1].Err == nil {
+		t.Fatal("panicking run reported no error")
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	sentinel := errors.New("sim blew up")
+	_, err := Map([]int{1, 2, 3}, 2, func(_ int, n int) (int, error) {
+		if n == 2 {
+			return 0, sentinel
+		}
+		return n, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Map error = %v, want %v", err, sentinel)
+	}
+}
+
+func TestMapOrderAndValues(t *testing.T) {
+	in := []int{5, 3, 8, 1, 9, 2}
+	out, err := Map(in, 0, func(_ int, n int) (int, error) { return n * 10, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != in[i]*10 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, in[i]*10)
+		}
+	}
+}
+
+// TestWorkersActuallyOverlap proves the pool runs specs concurrently: with
+// 4 workers, 4 runs all block on a barrier that only opens once all 4 have
+// started. A serial executor would deadlock; a timeout here means the pool
+// is not parallel.
+func TestWorkersActuallyOverlap(t *testing.T) {
+	const n = 4
+	var barrier sync.WaitGroup
+	barrier.Add(n)
+	specs := make([]Spec, n)
+	for i := range specs {
+		specs[i] = Spec{Label: "gate", Run: func() (any, error) {
+			barrier.Done()
+			barrier.Wait() // releases only when all n run at once
+			return nil, nil
+		}}
+	}
+	done := make(chan struct{})
+	go func() {
+		Run(specs, Options{Workers: n})
+		close(done)
+	}()
+	<-done
+}
+
+// TestDeterministicAcrossWorkerCounts runs the same seeded simulations
+// serially and with a full pool: per-spec results must be identical, since
+// each run owns a private engine.
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	mkSpecs := func() []Spec {
+		specs := make([]Spec, 16)
+		for i := range specs {
+			seed := int64(i + 1)
+			specs[i] = Spec{
+				Label: fmt.Sprintf("seed%d", seed),
+				Run: func() (any, error) {
+					eng := sim.NewEngine(seed)
+					var log []units.Time
+					var step func()
+					step = func() {
+						log = append(log, eng.Now())
+						if len(log) < 200 {
+							eng.After(units.Time(eng.Rand().Intn(50)+1), step)
+						}
+					}
+					eng.After(1, step)
+					eng.Run()
+					return fmt.Sprintf("%v@%v", eng.Executed, eng.Now()), nil
+				},
+			}
+		}
+		return specs
+	}
+	serial := Run(mkSpecs(), Options{Workers: 1})
+	parallel := Run(mkSpecs(), Options{Workers: 0})
+	for i := range serial {
+		if serial[i].Value != parallel[i].Value {
+			t.Fatalf("run %d: serial %v != parallel %v",
+				i, serial[i].Value, parallel[i].Value)
+		}
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	var mu sync.Mutex
+	var seen []int
+	specs := make([]Spec, 10)
+	for i := range specs {
+		specs[i] = Spec{Run: func() (any, error) { return nil, nil }}
+	}
+	Run(specs, Options{Workers: 3, Progress: func(done, total int, _ Result) {
+		mu.Lock()
+		seen = append(seen, done)
+		mu.Unlock()
+		if total != 10 {
+			t.Errorf("total = %d", total)
+		}
+	}})
+	if len(seen) != 10 {
+		t.Fatalf("progress fired %d times, want 10", len(seen))
+	}
+	for i, d := range seen {
+		if d != i+1 {
+			t.Fatalf("done counter not monotone: %v", seen)
+		}
+	}
+}
+
+func TestEmptyAndWide(t *testing.T) {
+	if rs := Run(nil, Options{}); len(rs) != 0 {
+		t.Fatal("nil specs should yield no results")
+	}
+	// More workers than specs must not deadlock or drop runs.
+	rs := Run([]Spec{{Run: func() (any, error) { return 7, nil }}}, Options{Workers: 64})
+	if len(rs) != 1 || rs[0].Value.(int) != 7 {
+		t.Fatalf("wide pool mangled results: %+v", rs)
+	}
+}

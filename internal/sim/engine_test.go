@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"tengig/internal/runner"
 	"tengig/internal/units"
 )
 
@@ -310,5 +311,164 @@ func TestPipeSetRate(t *testing.T) {
 	p.SetRate(2 * units.GbitPerSecond)
 	if p.Rate() != 2*units.GbitPerSecond {
 		t.Fatal("SetRate did not take effect")
+	}
+}
+
+// Property: over any interleaving of arm / stop / advance, a timer's
+// observable state stays consistent — Stop returns exactly what Pending
+// reported, Pending tracks the (not stopped, not fired) model, and at
+// quiescence every timer has either fired or been stopped, never both.
+// The TCP package leans on these exact semantics (cancelRTO/armRTO pairs,
+// persist re-arm inside its own callback), so they are pinned here.
+func TestTimerLifecycleProperty(t *testing.T) {
+	type tstate struct {
+		tm      *Timer
+		fired   bool
+		stopped bool
+	}
+	f := func(seed int64, ops []uint16) bool {
+		e := NewEngine(seed)
+		var timers []*tstate
+		ok := true
+		for _, op := range ops {
+			arg := int(op / 4)
+			switch op % 4 {
+			case 0: // arm a new timer
+				ts := &tstate{}
+				d := units.Time(arg%97) + 1
+				ts.tm = e.After(d, func() { ts.fired = true })
+				if !ts.tm.Pending() {
+					ok = false
+				}
+				timers = append(timers, ts)
+			case 1: // stop a random timer (possibly already stopped/fired)
+				if len(timers) == 0 {
+					continue
+				}
+				ts := timers[arg%len(timers)]
+				pend := ts.tm.Pending()
+				if pend != (!ts.fired && !ts.stopped) {
+					ok = false
+				}
+				if got := ts.tm.Stop(); got != pend {
+					ok = false // Stop must report exactly "was pending"
+				}
+				if !ts.fired {
+					ts.stopped = true
+				}
+				if ts.tm.Pending() {
+					ok = false
+				}
+			case 2: // advance the clock a bounded amount
+				e.RunUntil(e.Now() + units.Time(arg%50))
+			case 3: // double-stop must be a no-op reporting false
+				if len(timers) == 0 {
+					continue
+				}
+				ts := timers[arg%len(timers)]
+				ts.tm.Stop()
+				if !ts.fired {
+					ts.stopped = true
+				}
+				if ts.tm.Stop() {
+					ok = false
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		e.Run()
+		for _, ts := range timers {
+			if ts.fired && ts.stopped {
+				return false // a stopped timer ran anyway
+			}
+			if !ts.fired && !ts.stopped {
+				return false // a live timer was dropped
+			}
+			if ts.tm.Pending() {
+				return false // nothing is pending at quiescence
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTimerRearmInsideCallback pins the re-arm idiom the TCP timers use:
+// assigning a fresh timer from inside the firing callback works, Stop on
+// the just-fired timer reports false, and Pending is false once RunUntil
+// passes the final deadline.
+func TestTimerRearmInsideCallback(t *testing.T) {
+	e := NewEngine(1)
+	var fired []units.Time
+	var tm *Timer
+	var cb func()
+	cb = func() {
+		fired = append(fired, e.Now())
+		if tm.Stop() {
+			t.Error("Stop inside the timer's own callback reported true")
+		}
+		if tm.Pending() {
+			t.Error("timer still pending inside its own callback")
+		}
+		if len(fired) < 3 {
+			tm = e.After(10, cb)
+		}
+	}
+	tm = e.After(10, cb)
+	e.RunUntil(100)
+	if len(fired) != 3 || fired[0] != 10 || fired[1] != 20 || fired[2] != 30 {
+		t.Fatalf("fired = %v, want [10 20 30]", fired)
+	}
+	if tm.Pending() {
+		t.Error("timer pending after RunUntil passed every deadline")
+	}
+	if tm.Stop() {
+		t.Error("Stop after the chain finished reported true")
+	}
+}
+
+// TestEngineIsolationUnderRunner runs seeded engines concurrently through
+// the parallel experiment runner and checks the event logs match the
+// serial runs exactly. Under -race this doubles as proof that engines
+// share no hidden mutable state. (runner imports only the standard
+// library, so there is no import cycle.)
+func TestEngineIsolationUnderRunner(t *testing.T) {
+	trace := func(seed int64) string {
+		e := NewEngine(seed)
+		out := ""
+		var step func()
+		n := 0
+		step = func() {
+			out += e.Now().String() + ";"
+			n++
+			if n < 40 {
+				e.After(units.Time(e.Rand().Intn(500)+1), step)
+			}
+		}
+		e.After(1, step)
+		e.Run()
+		return out
+	}
+	specs := make([]runner.Spec, 12)
+	for i := range specs {
+		seed := int64(i + 1)
+		specs[i] = runner.Spec{
+			Label: "engine",
+			Run:   func() (any, error) { return trace(seed), nil },
+		}
+	}
+	serial := runner.Run(specs, runner.Options{Workers: 1})
+	par := runner.Run(specs, runner.Options{})
+	for i := range specs {
+		if serial[i].Err != nil || par[i].Err != nil {
+			t.Fatalf("run %d errored: %v / %v", i, serial[i].Err, par[i].Err)
+		}
+		if serial[i].Value != par[i].Value {
+			t.Errorf("run %d: parallel trace diverged from serial", i)
+		}
 	}
 }

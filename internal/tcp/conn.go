@@ -134,16 +134,17 @@ type Conn struct {
 	rttAt        units.Time
 	rttPending   bool
 
-	peerWndEdge int64 // highest sndUna+window seen
-	persistTmr  *sim.Timer
+	peerWndEdge  int64 // highest sndUna+window seen
+	persistTmr   *sim.Timer
+	persistShift int // exponential backoff of the persist timer
 
 	finQueued bool
 	finSent   bool
 
 	// Receive state.
 	rcvNxt      int64
-	ooo         []span
-	oooTrue     int64
+	ooo         []oooSpan
+	oooTrue     int64 // invariant: equals the sum of ooo[i].truesize
 	rcvq        []rcvChunk
 	rcvqAvail   int64 // payload bytes readable
 	rcvqTrue    int64 // buffer space charged (truesize accounting)
@@ -495,7 +496,13 @@ func (c *Conn) acceptOptions(seg *Segment) {
 func (c *Conn) updatePeerWindow(seg *Segment) {
 	if edge := seg.Ack + int64(seg.Wnd); edge > c.peerWndEdge {
 		c.peerWndEdge = edge
-		c.cancelPersist()
+		// Reset the persist backoff only when usable window actually opens.
+		// An ack that merely covers a probe byte advances the edge by one
+		// while the window stays shut; treating that as "window opened"
+		// would defeat the exponential probe backoff.
+		if c.PeerWindow() > 0 {
+			c.cancelPersist()
+		}
 	}
 }
 
@@ -509,7 +516,18 @@ func (c *Conn) handleFIN(seg *Segment) {
 		c.sendAck(false)
 		c.notifyReadable() // EOF is readable
 		if c.sendDone() {
-			c.state = StateDone
+			c.enterDone()
 		}
 	}
+}
+
+// enterDone moves the connection to StateDone and tears down every pending
+// timer: a finished connection must not emit timer-driven segments. Without
+// the cancellation, a delayed-ack or persist timer armed just before the
+// final ack could fire after teardown and inject a stray segment.
+func (c *Conn) enterDone() {
+	c.state = StateDone
+	c.cancelRTO()
+	c.cancelPersist()
+	c.cancelDelAck()
 }

@@ -149,13 +149,20 @@ func (c *Conn) receiveData(seg *Segment) {
 			c.sendAck(false)
 			return
 		}
+		if oooCovered(c.ooo, span{seg.Seq, end}) {
+			// A duplicate of already-queued ooo data: the bytes are charged
+			// once; just re-emit the duplicate ack. (Charging again would
+			// shrink the advertised window for data we do not hold twice.)
+			c.sendAck(false)
+			return
+		}
 		ts := c.truesize(seg.Len, seg.HeaderLen())
 		if ts > c.windowFreeSpace() {
 			c.Stats.RcvBufDrops++
 			c.sendAck(false)
 			return
 		}
-		c.ooo = mergeSpan(c.ooo, span{seg.Seq, end})
+		c.ooo = oooInsert(c.ooo, oooSpan{span{seg.Seq, end}, ts})
 		c.oooTrue += ts
 		c.sendAck(false)
 		return
@@ -182,7 +189,10 @@ func (c *Conn) receiveData(seg *Segment) {
 	payload := newBytes
 	truesize := c.truesize(int(newBytes), seg.HeaderLen())
 
-	// Absorb any out-of-order spans now contiguous.
+	// Absorb any out-of-order spans now contiguous, moving each span's
+	// exact charge from the ooo pool into the receive queue. (An earlier
+	// even-share approximation could mis-charge the buffer after
+	// reordering bursts and skew the advertised window.)
 	for len(c.ooo) > 0 && c.ooo[0].from <= c.rcvNxt {
 		sp := c.ooo[0]
 		c.ooo = c.ooo[1:]
@@ -191,18 +201,8 @@ func (c *Conn) receiveData(seg *Segment) {
 			payload += gained
 			c.rcvNxt = sp.to
 		}
-		// Move this span's accounting from the ooo pool into the receive
-		// queue; approximate per-span truesize by draining the pool evenly.
-		share := c.oooTrue
-		if len(c.ooo) > 0 {
-			share = c.oooTrue / int64(len(c.ooo)+1)
-		}
-		c.oooTrue -= share
-		truesize += share
-	}
-	if len(c.ooo) == 0 && c.oooTrue > 0 {
-		truesize += c.oooTrue
-		c.oooTrue = 0
+		c.oooTrue -= sp.truesize
+		truesize += sp.truesize
 	}
 
 	c.rcvq = append(c.rcvq, rcvChunk{payload: payload, truesize: truesize})
@@ -234,12 +234,32 @@ func (c *Conn) ackData() {
 		c.sendAck(false)
 	default:
 		if c.delackTmr == nil || !c.delackTmr.Pending() {
-			c.delackTmr = c.env.After(c.cfg.DelAckTimeout, func() {
-				c.delackTmr = nil
-				if c.delackCnt > 0 {
-					c.sendAck(true)
-				}
-			})
+			c.delackTmr = c.env.After(c.cfg.DelAckTimeout, c.onDelAck)
 		}
+	}
+}
+
+// onDelAck is the delayed-ack timer callback. The state guard matters:
+// data arriving on a connection that has already reached StateDone (e.g. a
+// retransmission racing the final ack) can arm the timer, and without the
+// guard it would fire after teardown and emit a stray acknowledgment.
+func (c *Conn) onDelAck() {
+	c.delackTmr = nil
+	switch c.state {
+	case StateEstablished, StateFinSent, StateSynRcvd:
+	default:
+		return
+	}
+	if c.delackCnt > 0 {
+		c.sendAck(true)
+	}
+}
+
+// cancelDelAck stops any pending delayed-ack timer and clears its state.
+func (c *Conn) cancelDelAck() {
+	c.delackCnt = 0
+	if c.delackTmr != nil {
+		c.delackTmr.Stop()
+		c.delackTmr = nil
 	}
 }

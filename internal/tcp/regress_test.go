@@ -1,0 +1,315 @@
+package tcp
+
+import (
+	"testing"
+
+	"tengig/internal/sim"
+	"tengig/internal/units"
+)
+
+// Regression tests for the timer/accounting fixes that parallel stress
+// testing exposed: persist-timer exponential backoff, delayed-ack firing
+// after teardown, and exact out-of-order truesize accounting.
+
+// scripted drives a single Conn against a hand-written peer: the reply
+// function sees every emitted segment and can answer with crafted acks.
+type scripted struct {
+	eng *sim.Engine
+	c   *Conn
+}
+
+func newScripted(cfg Config, reply func(s *scripted, seg *Segment)) *scripted {
+	s := &scripted{eng: sim.NewEngine(1)}
+	s.c = New(NewEnv(s.eng), "a", cfg, func(seg *Segment) {
+		cp := *seg
+		s.eng.After(10*units.Microsecond, func() { reply(s, &cp) })
+	})
+	return s
+}
+
+// TestPersistBackoffUnderZeroWindowStall pins the probe count during a
+// long zero-window stall. The peer acks every byte (probes included) but
+// keeps its window shut — like a real receiver whose application stopped
+// reading — so the retransmission timer never engages (nothing stays
+// unacked) and the persist timer alone paces the probes. Before the fix it
+// re-armed at a constant c.rto (~RTOMin here), emitting thousands of
+// probes over ten minutes; with RFC 1122-style exponential backoff clamped
+// to RTOMax the count stays in the low tens.
+func TestPersistBackoffUnderZeroWindowStall(t *testing.T) {
+	cfg := lanConfig(1500)
+	open := false
+	s := newScripted(cfg, func(s *scripted, seg *Segment) {
+		if seg.SYN {
+			// Initial window: two MSS (1448 after the timestamp option),
+			// so the sender can transmit whole aligned segments before the
+			// window closes.
+			syn := &Segment{SYN: true, MSSOpt: 1460, Wnd: 2 * 1448, HasTS: seg.HasTS, TSVal: s.eng.Now()}
+			s.c.Deliver(syn)
+			return
+		}
+		wnd := 0
+		if open {
+			wnd = 1 << 20
+		}
+		ack := &Segment{Ack: seg.Seq + int64(seg.Len), Wnd: wnd, HasTS: seg.HasTS, TSVal: s.eng.Now(), TSEcr: seg.TSVal}
+		s.c.Deliver(ack)
+	})
+	s.c.Connect()
+	s.eng.RunUntil(units.Second)
+	if s.c.State() != StateEstablished {
+		t.Fatal("handshake failed against scripted peer")
+	}
+	const total = 64 * 1024
+	written := 0
+	push := func() {
+		for written < total {
+			n := s.c.Write(total - written)
+			if n == 0 {
+				return
+			}
+			written += n
+		}
+	}
+	s.c.SetWritable(push)
+	push()
+	// The peer's two-segment window fills, acks drain it to zero, and the
+	// connection stalls on the persist timer for ten simulated minutes.
+	stall := 10 * units.Minute
+	s.eng.RunUntil(s.eng.Now() + stall)
+	probes := s.c.Stats.WindowProbes
+	if probes == 0 {
+		t.Fatal("no window probes during a zero-window stall")
+	}
+	// Backoff bound: sum of rto<<k intervals clamped to RTOMax. With
+	// RTOMin=200ms and RTOMax=120s, ten minutes fits ~14 probes; leave
+	// slack for the early un-backed-off probes. The broken constant-rto
+	// timer emits ~3000.
+	if probes > 40 {
+		t.Errorf("window probes = %d over %v, want exponential backoff (<= 40)", probes, stall)
+	}
+	if s.c.persistShift == 0 {
+		t.Error("persistShift never advanced during the stall")
+	}
+	// Window opens: the backoff must reset and the transfer completes. The
+	// next probe can be up to RTOMax away, so allow several of those.
+	open = true
+	s.eng.RunUntil(s.eng.Now() + 5*units.Minute)
+	if s.c.persistShift != 0 {
+		t.Errorf("persistShift = %d after the window opened, want 0", s.c.persistShift)
+	}
+	if s.c.sndUna < int64(total) {
+		t.Errorf("transfer stuck after window opened: sndUna=%d of %d", s.c.sndUna, total)
+	}
+}
+
+// TestPersistProbeIntervalsGrow checks the probe spacing itself: each
+// interval is at least as long as the previous one and never exceeds
+// RTOMax.
+func TestPersistProbeIntervalsGrow(t *testing.T) {
+	cfg := lanConfig(1500)
+	var probeAt []units.Time
+	s := newScripted(cfg, func(s *scripted, seg *Segment) {
+		if seg.SYN {
+			s.c.Deliver(&Segment{SYN: true, MSSOpt: 1460, Wnd: 1448, HasTS: seg.HasTS, TSVal: s.eng.Now()})
+			return
+		}
+		s.c.Deliver(&Segment{Ack: seg.Seq + int64(seg.Len), Wnd: 0, HasTS: seg.HasTS, TSVal: s.eng.Now(), TSEcr: seg.TSVal})
+	})
+	s.c.Connect()
+	s.eng.RunUntil(units.Second)
+	s.c.Write(32 * 1024)
+	last := s.c.Stats.WindowProbes
+	for s.eng.Now() < 20*units.Minute {
+		if !s.eng.Step() {
+			break
+		}
+		if s.c.Stats.WindowProbes > last {
+			last = s.c.Stats.WindowProbes
+			probeAt = append(probeAt, s.eng.Now())
+		}
+	}
+	if len(probeAt) < 5 {
+		t.Fatalf("only %d probes observed", len(probeAt))
+	}
+	prev := units.Time(0)
+	for i := 1; i < len(probeAt); i++ {
+		gap := probeAt[i] - probeAt[i-1]
+		if gap < prev {
+			t.Errorf("probe interval shrank without a window opening: %v then %v", prev, gap)
+		}
+		if gap > DefaultRTOMax+units.Second {
+			t.Errorf("probe interval %v exceeds RTOMax", gap)
+		}
+		prev = gap
+	}
+}
+
+// TestNoDelayedAckAfterDone: data arriving on a connection that has
+// already reached StateDone (here: the peer keeps transmitting after
+// acking our FIN) used to arm the delayed-ack timer, which then fired
+// after teardown and emitted a stray acknowledgment.
+func TestNoDelayedAckAfterDone(t *testing.T) {
+	cfg := lanConfig(1500)
+	cfg.QuickAcks = 0
+	p := newPair(cfg, cfg, time10us())
+	p.connect(t)
+	newSink(p.b)
+	newPump(p.a, 500) // writes 500 bytes and closes
+	p.run(units.Second)
+	if p.a.State() != StateDone {
+		t.Fatalf("a = %v, want done (b acked data+FIN without closing)", p.a.State())
+	}
+	segsBefore := p.a.Stats.SegsOut
+	// b (still established) sends data to the finished endpoint.
+	p.b.Write(300)
+	p.run(units.Second)
+	if got := p.a.Stats.DelayedAcks; got != 0 {
+		t.Errorf("delayed acks after StateDone = %d, want 0 (stray timer ack)", got)
+	}
+	if p.a.delackTmr != nil && p.a.delackTmr.Pending() {
+		t.Error("delayed-ack timer still pending on a done connection")
+	}
+	if p.a.State() != StateDone {
+		t.Errorf("a left done: %v", p.a.State())
+	}
+	_ = segsBefore
+}
+
+// TestDoneTearsDownTimers: entering StateDone cancels every per-connection
+// timer so the engine quiesces with nothing scheduled on the connection's
+// behalf.
+func TestDoneTearsDownTimers(t *testing.T) {
+	cfg := lanConfig(1500)
+	p := newPair(cfg, cfg, time10us())
+	p.connect(t)
+	newSink(p.b)
+	newPump(p.a, 10000)
+	p.b.Close()
+	p.run(5 * units.Second)
+	for _, c := range []*Conn{p.a, p.b} {
+		if c.State() != StateDone {
+			t.Fatalf("%s = %v, want done", c.Name(), c.State())
+		}
+		if c.rtoTimer != nil && c.rtoTimer.Pending() {
+			t.Errorf("%s: RTO timer pending after done", c.Name())
+		}
+		if c.persistTmr != nil && c.persistTmr.Pending() {
+			t.Errorf("%s: persist timer pending after done", c.Name())
+		}
+		if c.delackTmr != nil && c.delackTmr.Pending() {
+			t.Errorf("%s: delack timer pending after done", c.Name())
+		}
+	}
+}
+
+// oooSum returns the summed per-span truesize, which must always equal the
+// oooTrue pool counter.
+func oooSum(c *Conn) int64 {
+	var n int64
+	for _, sp := range c.ooo {
+		n += sp.truesize
+	}
+	return n
+}
+
+func checkOOOInvariant(t *testing.T, c *Conn, at string) {
+	t.Helper()
+	if got := oooSum(c); got != c.oooTrue {
+		t.Fatalf("%s: per-span truesize %d != oooTrue %d", at, got, c.oooTrue)
+	}
+	if c.oooTrue < 0 || c.rcvqTrue < 0 {
+		t.Fatalf("%s: negative accounting: ooo=%d rcvq=%d", at, c.oooTrue, c.rcvqTrue)
+	}
+}
+
+// TestOOOTruesizeExactAccounting drives crafted out-of-order segments at a
+// receiver and checks that (a) per-span truesize always sums to the pool
+// counter, (b) duplicates of queued ooo data are not charged twice, and
+// (c) draining the queue conserves rcvqTrue + oooTrue exactly.
+func TestOOOTruesizeExactAccounting(t *testing.T) {
+	cfg := lanConfig(1500)
+	p := newPair(cfg, cfg, time10us())
+	p.connect(t)
+	b := p.b
+
+	seg := func(seq, length int) *Segment { return &Segment{Seq: int64(seq), Len: length, Wnd: 60000} }
+	ts := func(length int) int64 { return b.truesize(length, seg(0, length).HeaderLen()) }
+
+	b.Deliver(seg(1000, 1000)) // hole at [0,1000)
+	checkOOOInvariant(t, b, "first ooo")
+	if b.oooTrue != ts(1000) {
+		t.Fatalf("oooTrue = %d, want %d", b.oooTrue, ts(1000))
+	}
+
+	b.Deliver(seg(1000, 1000)) // exact duplicate: must not re-charge
+	checkOOOInvariant(t, b, "duplicate ooo")
+	if b.oooTrue != ts(1000) {
+		t.Errorf("duplicate ooo segment double-charged: oooTrue = %d, want %d", b.oooTrue, ts(1000))
+	}
+	b.Deliver(seg(1200, 500)) // sub-range duplicate: also covered
+	checkOOOInvariant(t, b, "subrange duplicate")
+	if b.oooTrue != ts(1000) {
+		t.Errorf("covered sub-range charged: oooTrue = %d, want %d", b.oooTrue, ts(1000))
+	}
+
+	b.Deliver(seg(2000, 800)) // adjacent: coalesces, charges add
+	checkOOOInvariant(t, b, "adjacent ooo")
+	want := ts(1000) + ts(800)
+	if b.oooTrue != want || len(b.ooo) != 1 {
+		t.Fatalf("after coalesce: oooTrue = %d (want %d), spans = %d", b.oooTrue, want, len(b.ooo))
+	}
+
+	b.Deliver(seg(0, 1000)) // fills the hole: everything drains in-order
+	checkOOOInvariant(t, b, "drain")
+	if b.oooTrue != 0 || len(b.ooo) != 0 {
+		t.Fatalf("ooo pool not drained: oooTrue=%d spans=%d", b.oooTrue, len(b.ooo))
+	}
+	wantRcvq := ts(1000) + want
+	if b.rcvqTrue != wantRcvq {
+		t.Errorf("rcvqTrue = %d, want %d (exact conservation)", b.rcvqTrue, wantRcvq)
+	}
+	if b.rcvqAvail != 2800 {
+		t.Errorf("rcvqAvail = %d, want 2800", b.rcvqAvail)
+	}
+	if got := b.Read(1 << 30); got != 2800 {
+		t.Errorf("Read = %d, want 2800", got)
+	}
+	if b.rcvqTrue != 0 {
+		t.Errorf("rcvqTrue = %d after full read, want 0", b.rcvqTrue)
+	}
+}
+
+// TestOOOConservationUnderReorderingBurst is the end-to-end version: drop
+// a mid-stream segment so a burst queues out of order, let SACK repair it,
+// and assert the accounting pools return to zero with all data delivered.
+func TestOOOConservationUnderReorderingBurst(t *testing.T) {
+	cfg := lanConfig(1500)
+	p := newPair(cfg, cfg, time10us())
+	p.connect(t)
+	drops := 0
+	p.dropAB = func(n int64, seg *Segment) bool {
+		// Drop two separate data segments mid-stream to force distinct holes.
+		if seg.Len > 0 && (n == 20 || n == 40) && drops < 2 {
+			drops++
+			return true
+		}
+		return false
+	}
+	sink := newSink(p.b)
+	const total = 256 * 1024
+	newPump(p.a, total)
+	p.run(30 * units.Second)
+	if sink.total != total {
+		t.Fatalf("delivered %d of %d", sink.total, total)
+	}
+	if p.b.Stats.OutOfOrderSegs == 0 {
+		t.Fatal("no reordering happened; test is vacuous")
+	}
+	checkOOOInvariant(t, p.b, "quiescence")
+	if p.b.oooTrue != 0 || len(p.b.ooo) != 0 {
+		t.Errorf("ooo pool leaked: oooTrue=%d spans=%d", p.b.oooTrue, len(p.b.ooo))
+	}
+	if p.b.rcvqTrue != 0 {
+		t.Errorf("rcvqTrue = %d at quiescence, want 0", p.b.rcvqTrue)
+	}
+}

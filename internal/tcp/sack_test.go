@@ -174,7 +174,7 @@ func TestSACKBlocksBounded(t *testing.T) {
 	p.connect(t)
 	// Fabricate many ooo spans at the receiver.
 	for i := int64(0); i < 10; i++ {
-		p.b.ooo = mergeSpan(p.b.ooo, span{10000 + i*3000, 11000 + i*3000})
+		p.b.ooo = oooInsert(p.b.ooo, oooSpan{span{10000 + i*3000, 11000 + i*3000}, 1000})
 	}
 	blocks := p.b.buildSACKBlocks()
 	if len(blocks) != MaxSACKBlocks {

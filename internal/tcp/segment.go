@@ -188,3 +188,68 @@ func spansBytes(spans []span) int64 {
 	}
 	return n
 }
+
+// oooSpan is one out-of-order byte range with the exact receive-buffer
+// charge of the segments that produced it, so draining the queue moves
+// precisely what was charged.
+type oooSpan struct {
+	span
+	truesize int64
+}
+
+// oooCovered reports whether s lies entirely within the existing spans
+// (a pure duplicate that must not be charged again).
+func oooCovered(spans []oooSpan, s span) bool {
+	for _, x := range spans {
+		if x.from <= s.from && s.to <= x.to {
+			return true
+		}
+	}
+	return false
+}
+
+// oooInsert merges s into sorted, non-overlapping spans like mergeSpan,
+// accumulating the truesize of every range coalesced into one.
+func oooInsert(spans []oooSpan, s oooSpan) []oooSpan {
+	if s.from >= s.to {
+		return spans
+	}
+	// Fast path for the common in-order arrival at the tail.
+	if n := len(spans); n > 0 && spans[n-1].to <= s.from {
+		if spans[n-1].to == s.from {
+			spans[n-1].to = s.to
+			spans[n-1].truesize += s.truesize
+			return spans
+		}
+		return append(spans, s)
+	}
+	if len(spans) == 0 {
+		return append(spans, s)
+	}
+	out := make([]oooSpan, 0, len(spans)+1)
+	inserted := false
+	for _, x := range spans {
+		switch {
+		case x.to < s.from: // strictly before, no touch
+			out = append(out, x)
+		case s.to < x.from: // strictly after
+			if !inserted {
+				out = append(out, s)
+				inserted = true
+			}
+			out = append(out, x)
+		default: // overlap or adjacency: absorb into s, charges included
+			if x.from < s.from {
+				s.from = x.from
+			}
+			if x.to > s.to {
+				s.to = x.to
+			}
+			s.truesize += x.truesize
+		}
+	}
+	if !inserted {
+		out = append(out, s)
+	}
+	return out
+}

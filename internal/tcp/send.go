@@ -188,11 +188,7 @@ func (c *Conn) stampTS(seg *Segment) {
 // ackSent resets delayed-ack state: any segment we emit carries the current
 // cumulative ack.
 func (c *Conn) ackSent() {
-	c.delackCnt = 0
-	if c.delackTmr != nil {
-		c.delackTmr.Stop()
-		c.delackTmr = nil
-	}
+	c.cancelDelAck()
 }
 
 // processAck handles the acknowledgment field of an arriving segment.
@@ -283,7 +279,7 @@ func (c *Conn) newAck(seg *Segment) {
 		c.cancelRTO()
 		c.rto = c.boundRTO(c.computeRTO())
 		if c.sendDone() && (!c.peerFin || c.EOF()) {
-			c.state = StateDone
+			c.enterDone()
 		}
 	}
 	c.notifyWritable()
@@ -411,15 +407,32 @@ func (c *Conn) onRTO() {
 }
 
 // Persist (zero-window probe) handling --------------------------------------
+//
+// Probes back off exponentially from the current RTO, clamped to RTOMax
+// (RFC 1122 §4.2.2.17; Linux's tcp_probe_timer uses the same
+// inet_csk-style backoff as the retransmit timer), and the backoff resets
+// as soon as the peer opens its window. A constant probe interval would
+// hammer a long-stalled receiver with hundreds of probes per minute.
+
+// persistInterval is the current probe interval: rto << persistShift,
+// bounded to [RTOMin, RTOMax].
+func (c *Conn) persistInterval() units.Time {
+	d := c.rto
+	for i := 0; i < c.persistShift && d < c.cfg.RTOMax; i++ {
+		d *= 2
+	}
+	return c.boundRTO(d)
+}
 
 func (c *Conn) armPersist() {
 	if c.persistTmr != nil && c.persistTmr.Pending() {
 		return
 	}
-	c.persistTmr = c.env.After(c.rto, c.onPersist)
+	c.persistTmr = c.env.After(c.persistInterval(), c.onPersist)
 }
 
 func (c *Conn) cancelPersist() {
+	c.persistShift = 0
 	if c.persistTmr != nil {
 		c.persistTmr.Stop()
 		c.persistTmr = nil
@@ -431,6 +444,7 @@ func (c *Conn) cancelPersist() {
 func (c *Conn) onPersist() {
 	c.persistTmr = nil
 	if c.PeerWindow() > 0 {
+		c.persistShift = 0
 		c.trySend()
 		return
 	}
@@ -440,5 +454,8 @@ func (c *Conn) onPersist() {
 	c.Stats.WindowProbes++
 	c.emitData(c.sndNxt, 1, false)
 	c.sndNxt++
+	if c.persistInterval() < c.cfg.RTOMax {
+		c.persistShift++
+	}
 	c.armPersist()
 }
