@@ -18,6 +18,7 @@ import (
 
 	"tengig/internal/capture"
 	"tengig/internal/core"
+	"tengig/internal/telemetry"
 	"tengig/internal/tools"
 	"tengig/internal/trace"
 	"tengig/internal/units"
@@ -26,14 +27,15 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		profile = flag.String("profile", "pe2650", "host profile")
-		mtu     = flag.Int("mtu", 9000, "device MTU")
-		stock   = flag.Bool("stock", false, "use the stock configuration")
-		count   = flag.Int("count", 4000, "application writes")
-		payload = flag.Int("payload", 8948, "bytes per write")
-		sample  = flag.Uint64("sample", 4, "trace one packet in N")
-		dump    = flag.Int("dump", 12, "tcpdump lines to print")
-		seed    = flag.Int64("seed", 1, "simulation seed")
+		profile  = flag.String("profile", "pe2650", "host profile")
+		mtu      = flag.Int("mtu", 9000, "device MTU")
+		stock    = flag.Bool("stock", false, "use the stock configuration")
+		count    = flag.Int("count", 4000, "application writes")
+		payload  = flag.Int("payload", 8948, "bytes per write")
+		sample   = flag.Uint64("sample", 4, "trace one packet in N")
+		dump     = flag.Int("dump", 12, "tcpdump lines to print")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		telemDir = flag.String("telemetry", "", "directory for the run's telemetry bundle (JSONL + CSV); enables instrument sampling")
 	)
 	flag.Parse()
 
@@ -54,11 +56,27 @@ func main() {
 	cap := capture.New(1 << 20)
 	pair.SrcHost.SetCapture(cap)
 
+	var bundle *telemetry.Bundle
+	if *telemDir != "" {
+		name := fmt.Sprintf("magnet_%s_p%d", core.SanitizeName(tun.Label()), *payload)
+		bundle = core.AttachTelemetry(pair, name, *seed, telemetry.Options{Enabled: true})
+	}
+
 	res, err := tools.NTTCP(pair, *count, *payload, 10*units.Minute)
 	if err != nil {
 		log.Fatalf("magnet: %v", err)
 	}
 	fmt.Printf("transfer: %v over %v (%s)\n\n", res.Throughput, res.Elapsed, tun.Label())
+
+	if bundle != nil {
+		core.CapturePairEngine(bundle, pair)
+		if err := core.WriteBundle(*telemDir, bundle); err != nil {
+			log.Fatalf("magnet: telemetry: %v", err)
+		}
+		fmt.Println("== telemetry ==")
+		fmt.Print(bundle.Summary())
+		fmt.Println()
+	}
 
 	fmt.Println("== MAGNET path profile (sender) ==")
 	fmt.Print(tr.Report())

@@ -18,18 +18,23 @@
 //	sweep -exp mtu        # extension: MTU sweep (allocator-block sawtooth)
 //	sweep -all            # everything
 //	sweep -full ...       # paper-resolution payload grid (slower)
+//	sweep -json ...       # also write BENCH_sweep.json (figure id, points, peak, wall)
+//	sweep -telemetry DIR  # export per-point instrument bundles (JSONL + CSV) into DIR
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"tengig/internal/compare"
 	"tengig/internal/core"
+	"tengig/internal/telemetry"
 	"tengig/internal/tools"
 	"tengig/internal/units"
 )
@@ -45,6 +50,8 @@ var (
 	parallel = flag.Bool("parallel", false, "fan independent simulation points across one worker per CPU (identical rows, less wall-clock)")
 	nworkers = flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
 	verify   = flag.Bool("verify-determinism", false, "run a sampled sweep subset twice — serial and parallel — and diff the result rows")
+	jsonOut  = flag.Bool("json", false, "write BENCH_sweep.json: per-sweep figure id, points, peak, wall time")
+	telemDir = flag.String("telemetry", "", "directory for per-run telemetry bundles (JSONL + CSV); enables instrument sampling on every sweep point")
 )
 
 // workers returns the experiment-level worker count from the flags:
@@ -67,29 +74,90 @@ func main() {
 		return
 	}
 	ran := false
-	run := func(cond bool, f func()) {
+	run := func(cond bool, figureID string, f func()) {
 		if cond || *all {
+			benchFigure = figureID
 			f()
 			ran = true
 		}
 	}
-	run(*fig == 3, figure3)
-	run(*fig == 4, figure4)
-	run(*fig == 5, figure5)
-	run(*fig == 6, figure6)
-	run(*fig == 7, figure7)
-	run(*fig == 8, figure8)
-	run(*table == 1, table1)
-	run(*exp == "ladder", ladder)
-	run(*exp == "wan", wanRecord)
-	run(*exp == "multiflow", multiflow)
-	run(*exp == "compare", comparison)
-	run(*exp == "anecdotes", anecdotes)
-	run(*exp == "mtu", mtuSweep)
+	run(*fig == 3, "fig3", figure3)
+	run(*fig == 4, "fig4", figure4)
+	run(*fig == 5, "fig5", figure5)
+	run(*fig == 6, "fig6", figure6)
+	run(*fig == 7, "fig7", figure7)
+	run(*fig == 8, "fig8", figure8)
+	run(*table == 1, "table1", table1)
+	run(*exp == "ladder", "ladder", ladder)
+	run(*exp == "wan", "wan", wanRecord)
+	run(*exp == "multiflow", "multiflow", multiflow)
+	run(*exp == "compare", "compare", comparison)
+	run(*exp == "anecdotes", "anecdotes", anecdotes)
+	run(*exp == "mtu", "mtu", mtuSweep)
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *jsonOut {
+		writeBench()
+	}
+}
+
+// benchFigure labels the figure/experiment currently running, so each
+// sweep it performs lands in BENCH_sweep.json under the right id.
+var benchFigure string
+
+// benchSweep is one sweep's machine-readable summary. Wall-clock fields
+// live only here and in the human summary — never in the telemetry
+// exports, which must be byte-deterministic.
+type benchSweep struct {
+	Figure      string       `json:"figure"`
+	Label       string       `json:"label"`
+	Points      []benchPoint `json:"points"`
+	PeakPayload int          `json:"peak_payload"`
+	PeakGbps    float64      `json:"peak_gbps"`
+	WallMS      float64      `json:"wall_ms"`
+}
+
+type benchPoint struct {
+	Payload int     `json:"payload"`
+	Gbps    float64 `json:"gbps"`
+	WallMS  float64 `json:"wall_ms"`
+}
+
+var benchSweeps []benchSweep
+
+func recordBench(res *core.SweepResult, wall time.Duration) {
+	b := benchSweep{
+		Figure: benchFigure,
+		Label:  res.Label,
+		WallMS: float64(wall.Microseconds()) / 1e3,
+	}
+	for _, pt := range res.Points {
+		b.Points = append(b.Points, benchPoint{
+			Payload: pt.Payload,
+			Gbps:    pt.Throughput.Gbps(),
+			WallMS:  float64(pt.Wall.Microseconds()) / 1e3,
+		})
+	}
+	b.PeakPayload, _ = res.Peak()
+	_, peak := res.Peak()
+	b.PeakGbps = peak.Gbps()
+	benchSweeps = append(benchSweeps, b)
+}
+
+func writeBench() {
+	data, err := json.MarshalIndent(struct {
+		Sweeps []benchSweep `json:"sweeps"`
+	}{benchSweeps}, "", "  ")
+	if err != nil {
+		log.Fatalf("bench json: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile("BENCH_sweep.json", data, 0o644); err != nil {
+		log.Fatalf("bench json: %v", err)
+	}
+	fmt.Printf("wrote BENCH_sweep.json (%d sweeps)\n", len(benchSweeps))
 }
 
 func payloads() []int {
@@ -112,12 +180,31 @@ func count() int {
 }
 
 func sweep(p core.Profile, t core.Tuning) *core.SweepResult {
-	res, err := core.SweepConfig{
+	cfg := core.SweepConfig{
 		Seed: *seed, Profile: p, Tuning: t,
 		Payloads: payloads(), Count: count(), Workers: workers(),
-	}.Run()
+	}
+	if *telemDir != "" {
+		cfg.Telemetry = telemetry.Options{Enabled: true}
+	}
+	start := time.Now()
+	res, err := cfg.Run()
 	if err != nil {
 		log.Fatalf("sweep: %v", err)
+	}
+	wall := time.Since(start)
+	if *telemDir != "" {
+		for _, pt := range res.Points {
+			if pt.Telemetry == nil {
+				continue
+			}
+			if err := core.WriteBundle(*telemDir, pt.Telemetry); err != nil {
+				log.Fatalf("telemetry: %v", err)
+			}
+		}
+	}
+	if *jsonOut {
+		recordBench(res, wall)
 	}
 	return res
 }

@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"tengig/internal/host"
 	"tengig/internal/runner"
 	"tengig/internal/stats"
+	"tengig/internal/telemetry"
 	"tengig/internal/tools"
 	"tengig/internal/units"
 )
@@ -31,6 +33,11 @@ type SweepConfig struct {
 	// byte-identical to a serial run regardless of scheduling. 0 or 1 runs
 	// serially; negative uses one worker per CPU.
 	Workers int
+	// Telemetry, when Enabled, attaches a Web100-style instrument bundle to
+	// every point's connection pair. Bundles ride along on the points; their
+	// exports are byte-identical between serial and parallel runs because
+	// each point's recorder lives entirely inside that point's simulation.
+	Telemetry telemetry.Options
 }
 
 // DefaultPayloads returns the sweep grid: log-spaced across 128 B – 16 KB
@@ -48,6 +55,12 @@ func DefaultPayloads() []int {
 type Point struct {
 	Payload int
 	tools.ThroughputResult
+	// Wall is the host wall-clock time this point's simulation took. It is
+	// reporting-only: never folded into deterministic outputs.
+	Wall time.Duration
+	// Telemetry is the point's instrument bundle when SweepConfig.Telemetry
+	// was enabled, nil otherwise.
+	Telemetry *telemetry.Bundle
 }
 
 // SweepResult is a labeled series plus its raw points.
@@ -87,20 +100,35 @@ func (c SweepConfig) Run() (*SweepResult, error) {
 	if c.Timeout == 0 {
 		c.Timeout = 30 * units.Second
 	}
-	pts, err := runner.Map(c.Payloads, NormalizeWorkers(c.Workers),
+	pts, walls, err := runner.MapTimed(c.Payloads, NormalizeWorkers(c.Workers),
 		func(_ int, payload int) (Point, error) {
 			pair, err := c.newPair()
 			if err != nil {
 				return Point{}, err
 			}
+			pt := Point{Payload: payload}
+			if c.Telemetry.Enabled {
+				name := fmt.Sprintf("%s_p%d", SanitizeName(c.Tuning.Label()), payload)
+				pt.Telemetry = AttachTelemetry(pair, name, c.Seed, c.Telemetry)
+			}
 			r, err := tools.NTTCP(pair, c.Count, payload, c.Timeout)
 			if err != nil {
 				return Point{}, fmt.Errorf("payload %d: %w", payload, err)
 			}
-			return Point{Payload: payload, ThroughputResult: r}, nil
+			pt.ThroughputResult = r
+			if pt.Telemetry != nil {
+				CapturePairEngine(pt.Telemetry, pair)
+			}
+			return pt, nil
 		})
 	if err != nil {
 		return nil, err
+	}
+	for i := range pts {
+		pts[i].Wall = walls[i]
+		if pts[i].Telemetry != nil {
+			pts[i].Telemetry.Wall = walls[i]
+		}
 	}
 	res := &SweepResult{Label: c.Tuning.Label(), Points: pts}
 	res.Series.Name = res.Label

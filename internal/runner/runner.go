@@ -126,6 +126,14 @@ func Run(specs []Spec, opt Options) []Result {
 // first failure in input order — including a captured panic — is returned
 // as the error.
 func Map[T, R any](items []T, workers int, f func(i int, item T) (R, error)) ([]R, error) {
+	out, _, err := MapTimed(items, workers, f)
+	return out, err
+}
+
+// MapTimed is Map that additionally returns each run's host wall-clock
+// time, index-aligned with the outputs — the per-run cost signal telemetry
+// bundles carry alongside the simulated results.
+func MapTimed[T, R any](items []T, workers int, f func(i int, item T) (R, error)) ([]R, []time.Duration, error) {
 	specs := make([]Spec, len(items))
 	for i, item := range items {
 		i, item := i, item
@@ -136,13 +144,15 @@ func Map[T, R any](items []T, workers int, f func(i int, item T) (R, error)) ([]
 	}
 	rs := Run(specs, Options{Workers: workers})
 	out := make([]R, len(items))
+	walls := make([]time.Duration, len(items))
 	for i, r := range rs {
 		if r.Err != nil {
-			return nil, r.Err
+			return nil, nil, r.Err
 		}
+		walls[i] = r.Wall
 		if v, ok := r.Value.(R); ok {
 			out[i] = v
 		}
 	}
-	return out, nil
+	return out, walls, nil
 }

@@ -87,6 +87,9 @@ type Engine struct {
 	rng     *rand.Rand
 	// Executed counts events run; useful for progress assertions in tests.
 	Executed uint64
+	// HighWater is the deepest the event queue has been — a telemetry
+	// counter for spotting runs whose pending-event population explodes.
+	HighWater int
 }
 
 // NewEngine returns an engine whose clock starts at zero, with a
@@ -114,6 +117,9 @@ func (e *Engine) Schedule(at units.Time, do func()) *Timer {
 	ev := &event{at: at, seq: e.seq, do: do}
 	e.seq++
 	heap.Push(&e.pq, ev)
+	if n := len(e.pq); n > e.HighWater {
+		e.HighWater = n
+	}
 	return &Timer{eng: e, ev: ev}
 }
 

@@ -7,6 +7,7 @@ import (
 	"tengig/internal/ethernet"
 	"tengig/internal/ipv4"
 	"tengig/internal/sim"
+	"tengig/internal/telemetry"
 	"tengig/internal/units"
 )
 
@@ -165,6 +166,12 @@ type Conn struct {
 	// State tracing (EnableStateTrace).
 	stateTrace    []StatePoint
 	stateTraceMax int
+
+	// Web100-style telemetry (SetTelemetry). nil = disabled: every hook is
+	// a nil-receiver no-op, so the hot path pays only a pointer test.
+	telem      *telemetry.ConnRecorder
+	telemTmr   *sim.Timer
+	telemEvery units.Time
 
 	// Stats is the event counter block, exported for harness inspection.
 	Stats Stats
@@ -530,4 +537,5 @@ func (c *Conn) enterDone() {
 	c.cancelRTO()
 	c.cancelPersist()
 	c.cancelDelAck()
+	c.cancelTelemetrySampler()
 }

@@ -1,5 +1,7 @@
 package tcp
 
+import "tengig/internal/telemetry"
+
 // winFromSpace converts raw buffer space into advertisable window,
 // reserving 1/2^AdvWinScale for metadata overhead (Linux's
 // tcp_win_from_space with tcp_adv_win_scale).
@@ -98,7 +100,13 @@ func (c *Conn) advertiseWindow() int {
 		if est < 1 {
 			est = 1
 		}
-		free = free / est * est
+		aligned := free / est * est
+		if lost := free - aligned; lost > 0 {
+			// The fractional remainder the MSS alignment withholds — the
+			// window loss §3.5.1 traces with the kernel instruments.
+			c.telemEvent(telemetry.EventSWSClamp, c.rcvNxt, lost)
+		}
+		free = aligned
 	}
 	// Never shrink: the advertised right edge is monotone.
 	edge := c.rcvNxt + free
@@ -251,7 +259,9 @@ func (c *Conn) onDelAck() {
 		return
 	}
 	if c.delackCnt > 0 {
+		cnt := c.delackCnt // sendAck resets the counter; keep it for the log
 		c.sendAck(true)
+		c.telemEvent(telemetry.EventDelayedAck, c.rcvNxt, int64(cnt))
 	}
 }
 

@@ -1,6 +1,7 @@
 package tcp
 
 import (
+	"tengig/internal/telemetry"
 	"tengig/internal/units"
 )
 
@@ -240,10 +241,13 @@ func (c *Conn) newAck(seg *Segment) {
 	if c.fastRec {
 		if seg.Ack >= c.recoverSeq {
 			// Full recovery (NewReno): deflate to ssthresh.
+			prev := c.cwnd
 			c.fastRec = false
 			c.dupAcks = 0
 			c.cwnd = c.ssthresh
 			c.cwndCnt = 0
+			c.telemCwndReduction(prev)
+			c.telemEvent(telemetry.EventRecoveryExit, seg.Ack, 0)
 		} else {
 			// Partial ack: the next hole is lost too — retransmit it
 			// (scoreboard-guided when SACK is on) and stay in recovery.
@@ -252,7 +256,9 @@ func (c *Conn) newAck(seg *Segment) {
 				c.retransmitHead()
 			}
 			if c.cwnd > c.ssthresh {
+				prev := c.cwnd
 				c.cwnd-- // deflate by roughly what left the network
+				c.telemCwndReduction(prev)
 			}
 		}
 	} else {
@@ -291,12 +297,15 @@ func (c *Conn) dupAck() {
 	c.Stats.DupAcksIn++
 	c.dupAcks++
 	if !c.fastRec && c.dupAcks == 3 {
+		prev := c.cwnd
 		c.ssthresh = c.halveFlight()
 		c.fastRec = true
 		c.recoverSeq = c.sndNxt
 		c.Stats.FastRetransmits++
 		c.fastRetransmit()
 		c.cwnd = c.ssthresh + 3
+		c.telemEvent(telemetry.EventFastRetransmit, c.sndUna, int64(c.dupAcks))
+		c.telemCwndReduction(prev)
 	} else if c.fastRec {
 		c.cwnd++ // window inflation per extra dup ack
 		if c.sackOK {
@@ -393,6 +402,7 @@ func (c *Conn) onRTO() {
 		return
 	}
 	c.Stats.Timeouts++
+	prev := c.cwnd
 	c.ssthresh = c.halveFlight()
 	c.cwnd = 1
 	c.cwndCnt = 0
@@ -401,6 +411,8 @@ func (c *Conn) onRTO() {
 	c.sacked = nil       // forget the scoreboard across a timeout (reneging safety)
 	c.rttPending = false // Karn: no sample across a retransmit
 	c.rto = c.boundRTO(c.rto * 2)
+	c.telemEvent(telemetry.EventRTO, c.sndUna, int64(c.rto))
+	c.telemCwndReduction(prev)
 	c.retransmitHead()
 	c.armRTO()
 	c.sampleState("timeout")
@@ -457,5 +469,6 @@ func (c *Conn) onPersist() {
 	if c.persistInterval() < c.cfg.RTOMax {
 		c.persistShift++
 	}
+	c.telemEvent(telemetry.EventPersistProbe, c.sndNxt, int64(c.persistInterval()))
 	c.armPersist()
 }

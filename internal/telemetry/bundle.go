@@ -1,0 +1,64 @@
+package telemetry
+
+import "time"
+
+// EngineCounters surface the run's discrete-event engine health: how much
+// work the simulation did and how deep its event queue got.
+type EngineCounters struct {
+	// Events is the number of events the engine executed.
+	Events uint64 `json:"events"`
+	// HighWater is the deepest the event queue got.
+	HighWater int `json:"high_water"`
+}
+
+// Bundle is one run's telemetry: every instrumented connection plus the
+// engine counters, under a stable name (the export file stem). Connections
+// appear in registration order, which is construction order and therefore
+// deterministic for a given experiment.
+type Bundle struct {
+	Name  string
+	Seed  int64
+	Conns []*ConnRecorder
+
+	// Engine is filled after the run (CaptureEngine or by the harness).
+	Engine EngineCounters
+
+	// Wall is the host wall-clock time the run took. It is deliberately
+	// excluded from the JSONL/CSV exports, which must be byte-deterministic
+	// across runs; it appears only in the human summary.
+	Wall time.Duration
+
+	opt Options
+}
+
+// NewBundle creates an empty bundle for one run.
+func NewBundle(name string, seed int64, opt Options) *Bundle {
+	return &Bundle{Name: name, Seed: seed, opt: opt}
+}
+
+// Conn registers (or returns) the recorder for the named connection.
+func (b *Bundle) Conn(name string) *ConnRecorder {
+	for _, r := range b.Conns {
+		if r.name == name {
+			return r
+		}
+	}
+	r := newConnRecorder(name, b.opt)
+	b.Conns = append(b.Conns, r)
+	return r
+}
+
+// Lookup returns the recorder for name, or nil.
+func (b *Bundle) Lookup(name string) *ConnRecorder {
+	for _, r := range b.Conns {
+		if r.name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// CaptureEngine records the engine counters (call once, after the run).
+func (b *Bundle) CaptureEngine(events uint64, highWater int) {
+	b.Engine = EngineCounters{Events: events, HighWater: highWater}
+}

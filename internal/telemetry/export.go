@@ -1,0 +1,253 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"tengig/internal/units"
+)
+
+// JSONL schema version. Bump when a record shape changes.
+const SchemaVersion = "tengig-telemetry/v1"
+
+// The JSONL export is line-oriented: one self-describing JSON object per
+// line, in a deterministic order — meta, then per connection (registration
+// order) a conn header followed by its samples and events in time order,
+// then the engine counters. Host wall time never appears: the export must
+// be byte-identical for identical seeds, serial or parallel.
+
+type metaLine struct {
+	Type   string `json:"type"` // "meta"
+	Schema string `json:"schema"`
+	Name   string `json:"name"`
+	Seed   int64  `json:"seed"`
+}
+
+type connLine struct {
+	Type           string `json:"type"` // "conn"
+	Conn           string `json:"conn"`
+	Samples        int    `json:"samples"`
+	Events         int    `json:"events"`
+	DroppedSamples int64  `json:"dropped_samples"`
+	DroppedEvents  int64  `json:"dropped_events"`
+}
+
+type sampleLine struct {
+	Type string `json:"type"` // "sample"
+	Conn string `json:"conn"`
+	Sample
+}
+
+type eventLine struct {
+	Type string `json:"type"` // "event"
+	Conn string `json:"conn"`
+	Kind string `json:"kind"`
+	Event
+}
+
+type engineLine struct {
+	Type string `json:"type"` // "engine"
+	EngineCounters
+}
+
+// WriteJSONL writes the bundle as JSON lines.
+func (b *Bundle) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := func(v any) error {
+		j, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		bw.Write(j)
+		return bw.WriteByte('\n')
+	}
+	if err := enc(metaLine{Type: "meta", Schema: SchemaVersion, Name: b.Name, Seed: b.Seed}); err != nil {
+		return err
+	}
+	for _, r := range b.Conns {
+		ds, de := r.Dropped()
+		events := r.Events()
+		if err := enc(connLine{Type: "conn", Conn: r.Name(),
+			Samples: len(r.Samples()), Events: len(events),
+			DroppedSamples: ds, DroppedEvents: de}); err != nil {
+			return err
+		}
+		for _, s := range r.Samples() {
+			if err := enc(sampleLine{Type: "sample", Conn: r.Name(), Sample: s}); err != nil {
+				return err
+			}
+		}
+		for _, ev := range events {
+			if err := enc(eventLine{Type: "event", Conn: r.Name(), Kind: ev.Kind.String(), Event: ev}); err != nil {
+				return err
+			}
+		}
+	}
+	if err := enc(engineLine{Type: "engine", EngineCounters: b.Engine}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteCSV writes the sampled instrument series as one CSV table (all
+// connections, in registration order), deterministic like the JSONL.
+func (b *Bundle) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "conn,at_ps,state,cwnd,ssthresh,srtt_ps,rttvar_ps,rto_ps,"+
+		"snd_una,snd_nxt,inflight,peer_wnd,adv_wnd,persist_shift,"+
+		"retrans,fast_retrans,timeouts,dup_acks")
+	for _, r := range b.Conns {
+		for _, s := range r.Samples() {
+			fmt.Fprintf(bw, "%s,%d,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+				r.Name(), int64(s.At), s.State, s.Cwnd, s.Ssthresh,
+				int64(s.SRTT), int64(s.RTTVar), int64(s.RTO),
+				s.SndUna, s.SndNxt, s.InFlight, s.PeerWnd, s.AdvWnd,
+				s.PersistShift, s.Retransmits, s.FastRetrans, s.Timeouts, s.DupAcksIn)
+		}
+	}
+	return bw.Flush()
+}
+
+// ExportJSONL renders the JSONL export to bytes (determinism checks).
+func (b *Bundle) ExportJSONL() []byte {
+	var buf bytes.Buffer
+	if err := b.WriteJSONL(&buf); err != nil {
+		panic("telemetry: in-memory export failed: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+// ExportCSV renders the CSV export to bytes.
+func (b *Bundle) ExportCSV() []byte {
+	var buf bytes.Buffer
+	if err := b.WriteCSV(&buf); err != nil {
+		panic("telemetry: in-memory export failed: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+// ParseJSONL reconstructs a bundle from its JSONL export — the read half of
+// the machine-readable contract, used by tests and downstream tooling.
+func ParseJSONL(data []byte) (*Bundle, error) {
+	b := &Bundle{opt: Options{MaxSamples: 1 << 30, MaxEvents: 1 << 30}}
+	var typ struct {
+		Type string `json:"type"`
+	}
+	for ln, line := range bytes.Split(data, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		if err := json.Unmarshal(line, &typ); err != nil {
+			return nil, fmt.Errorf("telemetry: line %d: %w", ln+1, err)
+		}
+		switch typ.Type {
+		case "meta":
+			var m metaLine
+			if err := json.Unmarshal(line, &m); err != nil {
+				return nil, err
+			}
+			if m.Schema != SchemaVersion {
+				return nil, fmt.Errorf("telemetry: schema %q, want %q", m.Schema, SchemaVersion)
+			}
+			b.Name, b.Seed = m.Name, m.Seed
+		case "conn":
+			var c connLine
+			if err := json.Unmarshal(line, &c); err != nil {
+				return nil, err
+			}
+			r := b.Conn(c.Conn)
+			r.droppedSamples, r.droppedEvents = c.DroppedSamples, c.DroppedEvents
+		case "sample":
+			var s sampleLine
+			if err := json.Unmarshal(line, &s); err != nil {
+				return nil, err
+			}
+			b.Conn(s.Conn).RecordSample(s.Sample)
+		case "event":
+			var e eventLine
+			if err := json.Unmarshal(line, &e); err != nil {
+				return nil, err
+			}
+			e.Event.Kind = KindFromString(e.Kind)
+			r := b.Conn(e.Conn)
+			r.kindCounts[e.Event.Kind]++
+			if len(r.events) < r.maxEvents {
+				r.events = append(r.events, e.Event)
+			}
+		case "engine":
+			var g engineLine
+			if err := json.Unmarshal(line, &g); err != nil {
+				return nil, err
+			}
+			b.Engine = g.EngineCounters
+		default:
+			return nil, fmt.Errorf("telemetry: line %d: unknown record type %q", ln+1, typ.Type)
+		}
+	}
+	return b, nil
+}
+
+// Summary renders the human-readable readout, like `web100 readvars` or a
+// tcp_probe post-processing script.
+func (b *Bundle) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "telemetry: bundle %s (seed %d)\n", b.Name, b.Seed)
+	for _, r := range b.Conns {
+		ds, de := r.Dropped()
+		samples := r.Samples()
+		fmt.Fprintf(&sb, "  conn %-16s %d samples, %d events retained (dropped %d/%d)\n",
+			r.Name(), len(samples), len(r.Events()), ds, de)
+		if len(samples) > 0 {
+			last := samples[len(samples)-1]
+			cw := r.cwndAgg
+			fmt.Fprintf(&sb, "    cwnd      min %.0f max %.0f mean %.1f (last %d), ssthresh last %d\n",
+				cw.Min(), cw.Max(), cw.Mean(), last.Cwnd, last.Ssthresh)
+			fmt.Fprintf(&sb, "    srtt      last %v   rto last %v\n", last.SRTT, last.RTO)
+			fmt.Fprintf(&sb, "    inflight  max %.0f B   adv-wnd last %d B\n",
+				r.inflightAgg.Max(), last.AdvWnd)
+			fmt.Fprintf(&sb, "    counters  retrans %d  fast-retrans %d  timeouts %d  dup-acks %d\n",
+				last.Retransmits, last.FastRetrans, last.Timeouts, last.DupAcksIn)
+		}
+		var evs []string
+		for k := EventKind(1); k < numEventKinds; k++ {
+			if n := r.KindCount(k); n > 0 {
+				evs = append(evs, fmt.Sprintf("%s×%d", k, n))
+			}
+		}
+		if len(evs) > 0 {
+			fmt.Fprintf(&sb, "    events    %s\n", strings.Join(evs, "  "))
+		}
+	}
+	fmt.Fprintf(&sb, "  engine: %d events executed, queue high-water %d\n",
+		b.Engine.Events, b.Engine.HighWater)
+	if b.Wall > 0 {
+		fmt.Fprintf(&sb, "  wall: %v\n", b.Wall)
+	}
+	return sb.String()
+}
+
+// FirstEvent returns the earliest retained event of kind, or nil.
+func (r *ConnRecorder) FirstEvent(k EventKind) *Event {
+	evs := r.Events()
+	for i := range evs {
+		if evs[i].Kind == k {
+			return &evs[i]
+		}
+	}
+	return nil
+}
+
+// SamplesBetween returns the samples with from <= At < to.
+func (r *ConnRecorder) SamplesBetween(from, to units.Time) []Sample {
+	var out []Sample
+	for _, s := range r.Samples() {
+		if s.At >= from && s.At < to {
+			out = append(out, s)
+		}
+	}
+	return out
+}

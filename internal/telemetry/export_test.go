@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleBundle() *Bundle {
+	b := NewBundle("unit", 42, Options{})
+	r := b.Conn("send/flow1")
+	r.RecordSample(Sample{At: 100, State: "established", Cwnd: 2, Ssthresh: 1 << 20,
+		SRTT: 25_000_000, RTO: 200_000_000_000, InFlight: 8948, AdvWnd: 17896})
+	r.RecordSample(Sample{At: 200, State: "established", Cwnd: 4, Ssthresh: 1 << 20,
+		SRTT: 26_000_000, RTO: 200_000_000_000, InFlight: 17896, AdvWnd: 17896})
+	r.RecordEvent(150, EventFastRetransmit, 8948, 4, 7, 3)
+	r2 := b.Conn("recv/flow1")
+	r2.RecordSample(Sample{At: 100, State: "established", Cwnd: 2})
+	r2.RecordEvent(180, EventDelayedAck, 17896, 2, 1<<20, 2)
+	b.CaptureEngine(1234, 17)
+	return b
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	b := sampleBundle()
+	data := b.ExportJSONL()
+
+	got, err := ParseJSONL(data)
+	if err != nil {
+		t.Fatalf("ParseJSONL: %v", err)
+	}
+	if got.Name != "unit" || got.Seed != 42 {
+		t.Fatalf("meta mismatch: %q seed %d", got.Name, got.Seed)
+	}
+	if len(got.Conns) != 2 || got.Conns[0].Name() != "send/flow1" {
+		t.Fatalf("conns mismatch: %d", len(got.Conns))
+	}
+	if got.Engine != (EngineCounters{Events: 1234, HighWater: 17}) {
+		t.Fatalf("engine mismatch: %+v", got.Engine)
+	}
+	r := got.Lookup("send/flow1")
+	if len(r.Samples()) != 2 || r.Samples()[1].Cwnd != 4 {
+		t.Fatalf("samples mismatch: %+v", r.Samples())
+	}
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].Kind != EventFastRetransmit || evs[0].Aux != 3 {
+		t.Fatalf("events mismatch: %+v", evs)
+	}
+	if r.KindCount(EventFastRetransmit) != 1 {
+		t.Fatal("kind count not reconstructed")
+	}
+
+	// The round trip is lossless for export purposes: re-exporting the
+	// parsed bundle reproduces the original bytes.
+	if again := got.ExportJSONL(); !bytes.Equal(data, again) {
+		t.Fatal("re-export after parse is not byte-identical")
+	}
+}
+
+func TestExportDeterminism(t *testing.T) {
+	a, b := sampleBundle(), sampleBundle()
+	if !bytes.Equal(a.ExportJSONL(), b.ExportJSONL()) {
+		t.Fatal("identical bundles exported different JSONL")
+	}
+	if !bytes.Equal(a.ExportCSV(), b.ExportCSV()) {
+		t.Fatal("identical bundles exported different CSV")
+	}
+}
+
+func TestWallExcludedFromExports(t *testing.T) {
+	a, b := sampleBundle(), sampleBundle()
+	b.Wall = 123_456_789 // wall-clock noise must never reach the exports
+	if !bytes.Equal(a.ExportJSONL(), b.ExportJSONL()) {
+		t.Fatal("Wall leaked into the JSONL export")
+	}
+	if !bytes.Equal(a.ExportCSV(), b.ExportCSV()) {
+		t.Fatal("Wall leaked into the CSV export")
+	}
+}
+
+func TestCSVShape(t *testing.T) {
+	lines := strings.Split(strings.TrimSpace(string(sampleBundle().ExportCSV())), "\n")
+	if len(lines) != 4 { // header + 3 samples
+		t.Fatalf("CSV has %d lines, want 4", len(lines))
+	}
+	cols := strings.Count(lines[0], ",") + 1
+	for i, ln := range lines {
+		if got := strings.Count(ln, ",") + 1; got != cols {
+			t.Fatalf("line %d has %d columns, header has %d", i, got, cols)
+		}
+	}
+	if !strings.HasPrefix(lines[1], "send/flow1,100,established,2,") {
+		t.Fatalf("unexpected first data row: %s", lines[1])
+	}
+}
+
+func TestParseJSONLRejectsBadInput(t *testing.T) {
+	if _, err := ParseJSONL([]byte(`{"type":"meta","schema":"bogus/v9"}`)); err == nil {
+		t.Fatal("wrong schema version should fail")
+	}
+	if _, err := ParseJSONL([]byte(`{"type":"mystery"}`)); err == nil {
+		t.Fatal("unknown record type should fail")
+	}
+	if _, err := ParseJSONL([]byte("not json")); err == nil {
+		t.Fatal("malformed line should fail")
+	}
+}
+
+func TestSummaryMentionsEssentials(t *testing.T) {
+	s := sampleBundle().Summary()
+	for _, want := range []string{
+		"bundle unit", "send/flow1", "recv/flow1",
+		"fast_retransmit×1", "delayed_ack×1",
+		"1234 events executed", "high-water 17",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "wall") {
+		t.Fatal("summary should omit wall line when Wall is zero")
+	}
+}

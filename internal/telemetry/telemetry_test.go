@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"testing"
+
+	"tengig/internal/units"
+)
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for k := EventKind(0); k < numEventKinds; k++ {
+		if got := KindFromString(k.String()); got != k {
+			t.Errorf("KindFromString(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if KindFromString("no-such-kind") != EventNone {
+		t.Error("unknown kind should map to EventNone")
+	}
+}
+
+func TestRecorderSampleBounds(t *testing.T) {
+	b := NewBundle("t", 1, Options{MaxSamples: 3})
+	r := b.Conn("c")
+	for i := 0; i < 5; i++ {
+		r.RecordSample(Sample{At: units.Time(i), Cwnd: i + 1})
+	}
+	if got := len(r.Samples()); got != 3 {
+		t.Fatalf("retained %d samples, want 3", got)
+	}
+	// Keep-first: the slow-start head survives, the tail is dropped.
+	if r.Samples()[0].Cwnd != 1 || r.Samples()[2].Cwnd != 3 {
+		t.Fatalf("wrong samples retained: %+v", r.Samples())
+	}
+	ds, _ := r.Dropped()
+	if ds != 2 {
+		t.Fatalf("droppedSamples = %d, want 2", ds)
+	}
+	// Aggregates cover everything, including dropped samples.
+	agg := r.CwndStats()
+	if n := agg.N(); n != 5 {
+		t.Fatalf("cwnd aggregate N = %d, want 5", n)
+	}
+	if max := agg.Max(); max != 5 {
+		t.Fatalf("cwnd aggregate max = %v, want 5", max)
+	}
+}
+
+func TestRecorderEventRing(t *testing.T) {
+	b := NewBundle("t", 1, Options{MaxEvents: 4})
+	r := b.Conn("c")
+	for i := 0; i < 7; i++ {
+		r.RecordEvent(units.Time(i), EventRTO, int64(i), 0, 0, 0)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	// Ring keeps the newest, in time order.
+	for i, ev := range evs {
+		if want := units.Time(3 + i); ev.At != want {
+			t.Fatalf("event %d at %v, want %v", i, ev.At, want)
+		}
+	}
+	if _, de := r.Dropped(); de != 3 {
+		t.Fatalf("droppedEvents = %d, want 3", de)
+	}
+	// Per-kind totals include evicted events.
+	if n := r.KindCount(EventRTO); n != 7 {
+		t.Fatalf("KindCount = %d, want 7", n)
+	}
+}
+
+func TestFirstEventAndSamplesBetween(t *testing.T) {
+	b := NewBundle("t", 1, Options{})
+	r := b.Conn("c")
+	r.RecordEvent(10, EventSWSClamp, 0, 0, 0, 0)
+	r.RecordEvent(20, EventRTO, 5, 2, 1, 0)
+	r.RecordEvent(30, EventRTO, 6, 2, 1, 0)
+	ev := r.FirstEvent(EventRTO)
+	if ev == nil || ev.At != 20 || ev.Seq != 5 {
+		t.Fatalf("FirstEvent(EventRTO) = %+v", ev)
+	}
+	if r.FirstEvent(EventPersistProbe) != nil {
+		t.Fatal("FirstEvent for absent kind should be nil")
+	}
+	for i := 0; i < 10; i++ {
+		r.RecordSample(Sample{At: units.Time(i * 10)})
+	}
+	got := r.SamplesBetween(20, 50)
+	if len(got) != 3 || got[0].At != 20 || got[2].At != 40 {
+		t.Fatalf("SamplesBetween(20,50) = %+v", got)
+	}
+}
+
+func TestBundleConnRegistration(t *testing.T) {
+	b := NewBundle("t", 1, Options{})
+	r1 := b.Conn("a")
+	r2 := b.Conn("b")
+	if b.Conn("a") != r1 {
+		t.Fatal("Conn should return the existing recorder")
+	}
+	if b.Lookup("b") != r2 || b.Lookup("zzz") != nil {
+		t.Fatal("Lookup mismatch")
+	}
+	if len(b.Conns) != 2 || b.Conns[0] != r1 {
+		t.Fatal("registration order not preserved")
+	}
+}
+
+// TestNilRecorderZeroAlloc is the acceptance guard for "telemetry disabled
+// costs nothing": every hot-path hook is a nil-receiver no-op that must not
+// allocate.
+func TestNilRecorderZeroAlloc(t *testing.T) {
+	var r *ConnRecorder
+	s := Sample{At: 1, Cwnd: 2, InFlight: 3, SRTT: 4}
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.RecordSample(s)
+		r.RecordEvent(1, EventFastRetransmit, 2, 3, 4, 5)
+		_ = r.Samples()
+		_ = r.Events()
+		_ = r.KindCount(EventRTO)
+		_, _ = r.Dropped()
+		_ = r.Name()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil recorder allocated %.1f per run, want 0", allocs)
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *ConnRecorder
+	if r.FirstEvent(EventRTO) != nil || r.SamplesBetween(0, 100) != nil {
+		t.Fatal("nil recorder queries should return nil")
+	}
+	if st := r.CwndStats(); st.N() != 0 {
+		t.Fatal("nil recorder stats should be empty")
+	}
+}

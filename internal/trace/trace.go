@@ -8,6 +8,17 @@
 //
 // Like MAGNET, tracing can sample a random subset of packets so that the
 // instrumentation itself has negligible effect (here: allocation cost only).
+//
+// # Concurrency contract
+//
+// A Tracer is single-goroutine: it has no internal locking and must only
+// be used from the goroutine driving its simulation's engine. In parallel
+// sweeps (internal/runner) every run constructs its own engine, hosts, and
+// tracer inside the run closure, so tracers are never shared across
+// workers; the runner-based race test in internal/core proves the
+// isolation under the race detector. Sharing one Tracer between hosts of
+// the SAME simulation (as cmd/magnet does for its two end hosts) is fine —
+// a simulation is one goroutine by construction.
 package trace
 
 import (
