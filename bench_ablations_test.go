@@ -55,7 +55,7 @@ func BenchmarkAblation_MMRBCSweep(b *testing.B) {
 				Seed: 1, Profile: core.PE2650,
 				Tuning:   core.Stock(9000).WithMMRBC(mmrbc),
 				Payloads: []int{8948, 16384}, Count: benchCount,
-				Workers:  benchWorkers,
+				Workers: benchWorkers,
 			}.Run()
 			if err != nil {
 				b.Fatal(err)

@@ -34,6 +34,7 @@ import (
 
 	"tengig/internal/compare"
 	"tengig/internal/core"
+	"tengig/internal/prof"
 	"tengig/internal/telemetry"
 	"tengig/internal/tools"
 	"tengig/internal/units"
@@ -52,6 +53,8 @@ var (
 	verify   = flag.Bool("verify-determinism", false, "run a sampled sweep subset twice — serial and parallel — and diff the result rows")
 	jsonOut  = flag.Bool("json", false, "write BENCH_sweep.json: per-sweep figure id, points, peak, wall time")
 	telemDir = flag.String("telemetry", "", "directory for per-run telemetry bundles (JSONL + CSV); enables instrument sampling on every sweep point")
+	cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	memProf  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 )
 
 // workers returns the experiment-level worker count from the flags:
@@ -69,6 +72,8 @@ func workers() int {
 func main() {
 	log.SetFlags(0)
 	flag.Parse()
+	stopProfiles := prof.Start(*cpuProf, *memProf)
+	defer stopProfiles()
 	if *verify {
 		verifyDeterminism()
 		return

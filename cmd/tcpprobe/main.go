@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"tengig/internal/core"
+	"tengig/internal/prof"
 	"tengig/internal/telemetry"
 	"tengig/internal/units"
 )
@@ -43,8 +44,12 @@ func main() {
 		dropNth  = flag.Int64("drop-nth", 0, "drop exactly the nth data packet (Table 1's single loss)")
 		outDir   = flag.String("o", "", "write <name>.jsonl and <name>.csv into this directory")
 		events   = flag.Int("events", 8, "recent events to print per connection")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
+	stopProfiles := prof.Start(*cpuProf, *memProf)
+	defer stopProfiles()
 
 	tun := core.Optimized(*mtu)
 	if *stock {

@@ -44,6 +44,14 @@ type Port struct {
 	queueCap int64 // bytes; 0 = unlimited
 	queued   int64 // bytes currently queued or serializing
 	drops    int64
+
+	// Bound-once callbacks and the FIFO of pending queue releases, so the
+	// forwarding path schedules no closures and boxes no sizes.
+	stepCb    func(any) // backplane crossed → forwarding latency
+	deliverCb func(any) // latency elapsed → drop-tail enqueue
+	drainCb   func(any) // serialization done → release queued bytes
+	drainq    []int64   // sizes awaiting release, FIFO from drainHead
+	drainHead int
 }
 
 // Drops returns packets dropped at this port's queue.
@@ -80,7 +88,20 @@ func (n *Node) AddPort(out *phys.Port, queueCap units.ByteSize) int {
 		panic("fabric: negative queue capacity")
 	}
 	idx := len(n.ports)
-	n.ports = append(n.ports, &Port{node: n, idx: idx, out: out, queueCap: int64(queueCap)})
+	p := &Port{node: n, idx: idx, out: out, queueCap: int64(queueCap)}
+	p.deliverCb = func(x any) { n.enqueue(p, x.(*packet.Packet)) }
+	p.stepCb = func(x any) { n.eng.AfterCall(n.latency, p.deliverCb, x) }
+	// Serialization finishes in enqueue order (the wire is FIFO), so releases
+	// consume pending sizes strictly from the head.
+	p.drainCb = func(any) {
+		p.queued -= p.drainq[p.drainHead]
+		p.drainHead++
+		if p.drainHead == len(p.drainq) {
+			p.drainq = p.drainq[:0]
+			p.drainHead = 0
+		}
+	}
+	n.ports = append(n.ports, p)
 	return idx
 }
 
@@ -110,15 +131,15 @@ func (n *Node) forward(pk *packet.Packet) {
 	pidx, ok := n.fib[pk.Dst]
 	if !ok {
 		n.Stats.NoRoute++
+		pk.Release()
 		return
 	}
 	pk.Hops++
-	deliver := func() { n.enqueue(n.ports[pidx], pk) }
-	step := func() { n.eng.After(n.latency, deliver) }
+	p := n.ports[pidx]
 	if n.backplane != nil {
-		n.backplane.Send(pk.IPLen(), step)
+		n.backplane.SendCall(pk.IPLen(), p.stepCb, pk)
 	} else {
-		step()
+		n.eng.AfterCall(n.latency, p.deliverCb, pk)
 	}
 }
 
@@ -128,6 +149,7 @@ func (n *Node) enqueue(p *Port, pk *packet.Packet) {
 	if p.queueCap > 0 && p.queued+size > p.queueCap {
 		p.drops++
 		n.Stats.Dropped++
+		pk.Release()
 		return
 	}
 	p.queued += size
@@ -135,5 +157,6 @@ func (n *Node) enqueue(p *Port, pk *packet.Packet) {
 	p.out.Send(pk)
 	// The queue drains when the port finishes serializing this packet;
 	// Busy() reflects the backlog, so schedule the release at that point.
-	n.eng.After(p.out.Busy(), func() { p.queued -= size })
+	p.drainq = append(p.drainq, size)
+	n.eng.AfterCall(p.out.Busy(), p.drainCb, nil)
 }

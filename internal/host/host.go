@@ -28,9 +28,28 @@ type Stats struct {
 // NICPort is one adapter installed in the host with its dedicated PCI bus
 // and transmit queue state.
 type NICPort struct {
-	Adapter *nic.Adapter
-	Bus     *pci.Bus
-	queued  int
+	Adapter   *nic.Adapter
+	Bus       *pci.Bus
+	queued    int
+	dequeueCb func(any) // bound once: decrements queued when a transmit completes
+}
+
+// txBatch carries one output() call's wire packets from the CPU-cost event to
+// packet creation, replacing the per-call closure. Batches recycle on a
+// host-local free list.
+type txBatch struct {
+	s      *Socket
+	pieces []*tcp.Segment
+	next   *txBatch
+}
+
+// rxJob carries one received packet (and its sk_backlog charge, fixed at IRQ
+// time) through the per-packet receive-processing event. Jobs recycle on a
+// host-local free list.
+type rxJob struct {
+	pk   *packet.Packet
+	ts   int64
+	next *rxJob
 }
 
 // Host is one simulated end system.
@@ -48,6 +67,16 @@ type Host struct {
 	irqNext int
 
 	udpSink func(pk *packet.Packet)
+
+	// Free lists and pre-bound callbacks for the allocation-free hot path.
+	// All are single-goroutine by the simulation contract.
+	pktPool   *packet.Pool
+	segPool   *tcp.SegmentPool
+	freeBatch *txBatch
+	freeRxJob *rxJob
+	txCb      func(any) // runs a txBatch after its CPU cost elapses
+	udpCb     func(any) // delivers a UDP packet
+	tcpRxCb   func(any) // finishes per-packet receive processing (rxJob)
 
 	// Stats is the host's event counter block.
 	Stats Stats
@@ -73,7 +102,51 @@ func New(eng *sim.Engine, cfg Config) *Host {
 	for i := 0; i < ncpu; i++ {
 		h.cpus = append(h.cpus, sim.NewServer(eng, fmt.Sprintf("%s/cpu%d", cfg.Name, i)))
 	}
+	h.pktPool = packet.NewPool()
+	h.segPool = tcp.NewSegmentPool()
+	// The packet pool cannot name *tcp.Segment (layering); route released
+	// segments back into this host's segment pool through the any-typed hook.
+	h.pktPool.ReleaseSeg = func(s any) { h.segPool.Put(s.(*tcp.Segment)) }
+	h.txCb = func(x any) { h.runTxBatch(x.(*txBatch)) }
+	h.udpCb = func(x any) { h.deliverUDP(x.(*packet.Packet)) }
+	h.tcpRxCb = func(x any) { h.finishTCPRx(x.(*rxJob)) }
 	return h
+}
+
+// getBatch pops a recycled txBatch (or allocates the pool's first few).
+func (h *Host) getBatch() *txBatch {
+	if b := h.freeBatch; b != nil {
+		h.freeBatch = b.next
+		b.next = nil
+		return b
+	}
+	return &txBatch{}
+}
+
+func (h *Host) putBatch(b *txBatch) {
+	b.s = nil
+	for i := range b.pieces {
+		b.pieces[i] = nil
+	}
+	b.pieces = b.pieces[:0]
+	b.next = h.freeBatch
+	h.freeBatch = b
+}
+
+func (h *Host) getRxJob() *rxJob {
+	if j := h.freeRxJob; j != nil {
+		h.freeRxJob = j.next
+		j.next = nil
+		return j
+	}
+	return &rxJob{}
+}
+
+func (h *Host) putRxJob(j *rxJob) {
+	j.pk = nil
+	j.ts = 0
+	j.next = h.freeRxJob
+	h.freeRxJob = j
 }
 
 // Name returns the host name.
@@ -161,7 +234,9 @@ func (h *Host) AddNIC(cfg nic.Config) int {
 	bus := pci.NewBus(h.eng, fmt.Sprintf("%s/pcix%d", h.cfg.Name, idx), h.cfg.PCI)
 	ad := nic.New(h.eng, cfg, bus, h.memsys)
 	ad.SetIRQ(func(batch []*packet.Packet) { h.onIRQ(batch) })
-	h.nics = append(h.nics, &NICPort{Adapter: ad, Bus: bus})
+	np := &NICPort{Adapter: ad, Bus: bus}
+	np.dequeueCb = func(any) { np.queued-- }
+	h.nics = append(h.nics, np)
 	return idx
 }
 
@@ -181,11 +256,12 @@ func (h *Host) enqueue(nicIdx int, pk *packet.Packet) {
 	np := h.nics[nicIdx]
 	if np.queued >= h.cfg.Kernel.TxQueueLen {
 		h.Stats.QdiscDrops++
+		pk.Release()
 		return
 	}
 	np.queued++
 	doneAt := np.Adapter.Transmit(pk)
-	h.eng.Schedule(doneAt, func() { np.queued-- })
+	h.eng.ScheduleCall(doneAt, np.dequeueCb, nil)
 	h.tracer.Hit(pk.ID, trace.StageDriverTx, h.eng.Now())
 }
 
@@ -221,56 +297,74 @@ func (h *Host) output(s *Socket, seg *tcp.Segment) {
 	// once). Each wire packet pays allocation and DMA separately; the
 	// stack cost above is paid once — that is TSO's benefit.
 	wireMSS := np.Adapter.Config().MTU - ipv4.HeaderLen - seg.HeaderLen()
-	pieces := splitSegment(seg, wireMSS)
-	for _, piece := range pieces {
+	b := h.getBatch()
+	b.s = s
+	h.splitSegment(b, seg, wireMSS)
+	for _, piece := range b.pieces {
 		frame := piece.Len + piece.HeaderLen() + ipv4.HeaderLen + ethernet.HeaderLen
 		_, ac := h.alloc.Alloc(frame)
 		cost += ac
 	}
 
-	cpu.Submit(cost, func() {
-		for _, piece := range pieces {
-			pk := &packet.Packet{
-				ID:       h.ids.Next(),
-				FlowID:   s.flow,
-				Src:      h.cfg.Addr,
-				Dst:      s.remote,
-				Proto:    packet.ProtoTCP,
-				Payload:  piece.Len,
-				L4Header: piece.HeaderLen(),
-				Seg:      piece,
-			}
-			if h.tracer.Admit(pk.ID) {
-				h.tracer.Hit(pk.ID, trace.StageTCPOut, h.eng.Now())
-			}
-			h.tap.Observe(capture.Out, pk, h.eng.Now())
-			h.enqueue(s.nicIdx, pk)
-		}
-	})
+	// One CPU event per output() call regardless of piece count — the batch
+	// rides as the event argument so no closure is built per segment.
+	cpu.SubmitCall(cost, h.txCb, b)
 }
 
-// splitSegment cuts a segment into wire-MSS-sized pieces (identity for
-// in-MTU segments).
-func splitSegment(seg *tcp.Segment, wireMSS int) []*tcp.Segment {
-	if seg.Len <= wireMSS || wireMSS <= 0 {
-		return []*tcp.Segment{seg}
+// runTxBatch turns a batch's segments into wire packets after the transmit
+// CPU cost has been charged. Packet IDs are assigned here (not at output
+// time) to preserve the pre-pooling ID order.
+func (h *Host) runTxBatch(b *txBatch) {
+	s := b.s
+	for _, piece := range b.pieces {
+		pk := h.pktPool.Get()
+		pk.ID = h.ids.Next()
+		pk.FlowID = s.flow
+		pk.Src = h.cfg.Addr
+		pk.Dst = s.remote
+		pk.Proto = packet.ProtoTCP
+		pk.Payload = piece.Len
+		pk.L4Header = piece.HeaderLen()
+		pk.Seg = piece
+		if h.tracer.Admit(pk.ID) {
+			h.tracer.Hit(pk.ID, trace.StageTCPOut, h.eng.Now())
+		}
+		h.tap.Observe(capture.Out, pk, h.eng.Now())
+		h.enqueue(s.nicIdx, pk)
 	}
-	var out []*tcp.Segment
+	h.putBatch(b)
+}
+
+// splitSegment cuts a segment into wire-MSS-sized pieces appended to the
+// batch (identity for in-MTU segments). Pieces come from the host segment
+// pool; when a super-segment is split, the original is released — its copies
+// carry all the state the wire needs, and TCP keeps no reference (the
+// retransmit queue tracks byte spans, not segments).
+func (h *Host) splitSegment(b *txBatch, seg *tcp.Segment, wireMSS int) {
+	if seg.Len <= wireMSS || wireMSS <= 0 {
+		b.pieces = append(b.pieces, seg)
+		return
+	}
 	off := 0
 	for off < seg.Len {
 		n := seg.Len - off
 		if n > wireMSS {
 			n = wireMSS
 		}
-		piece := *seg
+		piece := h.segPool.Get()
+		sb := piece.SACKBlocks
+		*piece = *seg
+		// Keep the piece's own (empty) SACK array rather than aliasing the
+		// super-segment's; data segments never carry SACK blocks.
+		piece.SACKBlocks = sb[:0]
 		piece.Seq = seg.Seq + int64(off)
 		piece.Len = n
 		// Only the last piece carries FIN.
 		piece.FIN = seg.FIN && off+n == seg.Len
-		out = append(out, &piece)
+		b.pieces = append(b.pieces, piece)
 		off += n
 	}
-	return out
+	h.segPool.Put(seg)
 }
 
 // onIRQ is the receive interrupt handler: fixed entry cost, then per-packet
@@ -289,11 +383,10 @@ func (h *Host) onIRQ(batch []*packet.Packet) {
 		perPkt = c.NAPIPerPacket
 	}
 	for _, pk := range batch {
-		pk := pk
 		var cost units.Time
 		if pk.Proto == packet.ProtoUDP {
 			cost = h.kcost(perPkt)
-			cpu.Submit(cost, func() { h.deliverUDP(pk) })
+			cpu.SubmitCall(cost, h.udpCb, pk)
 			continue
 		}
 		seg := pk.Seg.(*tcp.Segment)
@@ -313,23 +406,33 @@ func (h *Host) onIRQ(batch []*packet.Packet) {
 		}
 		// Packets awaiting processing charge the socket's receive buffer,
 		// like sk_backlog: a host that cannot keep up closes its window.
-		var ts int64
+		j := h.getRxJob()
+		j.pk = pk
 		if s, ok := h.socks[pk.FlowID]; ok && seg.Len > 0 {
-			ts = alloc.BlockFor(pk.IPLen() + ethernet.HeaderLen)
-			s.rxBacklog += ts
+			j.ts = alloc.BlockFor(pk.IPLen() + ethernet.HeaderLen)
+			s.rxBacklog += j.ts
 		}
-		cpu.Submit(cost, func() {
-			if ts > 0 {
-				if s, ok := h.socks[pk.FlowID]; ok {
-					s.rxBacklog -= ts
-				}
-			}
-			h.deliverTCP(pk)
-		})
+		cpu.SubmitCall(cost, h.tcpRxCb, j)
 	}
 }
 
-// deliverTCP hands a packet's segment to its connection.
+// finishTCPRx completes one packet's receive processing: uncharge the
+// backlog, deliver the segment, recycle the job.
+func (h *Host) finishTCPRx(j *rxJob) {
+	pk, ts := j.pk, j.ts
+	h.putRxJob(j)
+	if ts > 0 {
+		if s, ok := h.socks[pk.FlowID]; ok {
+			s.rxBacklog -= ts
+		}
+	}
+	h.deliverTCP(pk)
+}
+
+// deliverTCP hands a packet's segment to its connection, then releases the
+// packet (and the segment, via the pool hook) back to the sending host's
+// pools: Deliver copies everything it keeps, so this is the segment's
+// end-of-life on the receive path.
 func (h *Host) deliverTCP(pk *packet.Packet) {
 	h.tracer.Hit(pk.ID, trace.StageTCPIn, h.eng.Now())
 	h.tracer.Finish(pk.ID)
@@ -337,18 +440,22 @@ func (h *Host) deliverTCP(pk *packet.Packet) {
 	s, ok := h.socks[pk.FlowID]
 	if !ok {
 		h.Stats.NoSockDrops++
+		pk.Release()
 		return
 	}
 	s.Conn.Deliver(pk.Seg.(*tcp.Segment))
+	pk.Release()
 }
 
-// deliverUDP hands a UDP packet to the registered sink.
+// deliverUDP hands a UDP packet to the registered sink and releases it
+// (pktgen packets are unpooled, for which Release is a no-op).
 func (h *Host) deliverUDP(pk *packet.Packet) {
 	h.Stats.UDPReceived++
 	h.Stats.UDPBytes += int64(pk.Payload)
 	if h.udpSink != nil {
 		h.udpSink(pk)
 	}
+	pk.Release()
 }
 
 // CPUBusy returns the accumulated busy time of CPU i (diagnostics).

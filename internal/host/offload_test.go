@@ -109,10 +109,20 @@ func TestNAPIReducesReceiverLoad(t *testing.T) {
 }
 
 func TestSplitSegmentCoversExactly(t *testing.T) {
+	eng := sim.NewEngine(7)
+	h := New(eng, testHostCfg("a", 1, true))
+	split := func(seg *tcp.Segment, wireMSS int) []*tcp.Segment {
+		b := h.getBatch()
+		h.splitSegment(b, seg, wireMSS)
+		return b.pieces
+	}
 	seg := &tcp.Segment{Seq: 1000, Len: 20000, Ack: 5, Wnd: 100, FIN: true}
-	pieces := splitSegment(seg, 8948)
+	// Splitting recycles the super-segment (zeroing it), so keep the
+	// expected values aside.
+	want := *seg
+	pieces := split(seg, 8948)
 	var total int
-	next := seg.Seq
+	next := want.Seq
 	for i, p := range pieces {
 		if p.Seq != next {
 			t.Fatalf("piece %d seq %d, want %d", i, p.Seq, next)
@@ -123,17 +133,19 @@ func TestSplitSegmentCoversExactly(t *testing.T) {
 		if p.FIN != (i == len(pieces)-1) {
 			t.Fatalf("FIN on wrong piece %d", i)
 		}
-		if p.Ack != seg.Ack || p.Wnd != seg.Wnd {
+		if p.Ack != want.Ack || p.Wnd != want.Wnd {
 			t.Fatalf("piece %d lost ack/window", i)
 		}
 		total += p.Len
 		next += int64(p.Len)
 	}
-	if total != seg.Len {
-		t.Fatalf("pieces cover %d of %d", total, seg.Len)
+	if total != want.Len {
+		t.Fatalf("pieces cover %d of %d", total, want.Len)
 	}
-	// Identity case.
-	if got := splitSegment(seg, 30000); len(got) != 1 || got[0] != seg {
+	// Identity case. The split above recycled seg into the pool, so use a
+	// fresh segment here.
+	seg2 := &tcp.Segment{Seq: 1000, Len: 20000, Ack: 5, Wnd: 100, FIN: true}
+	if got := split(seg2, 30000); len(got) != 1 || got[0] != seg2 {
 		t.Error("in-MTU segment should pass through unchanged")
 	}
 }

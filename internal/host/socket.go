@@ -25,14 +25,18 @@ type Socket struct {
 	chunk          int   // application write() size (NTTCP's payload parameter)
 	curWrite       int   // bytes remaining in the in-progress write() call
 	writing        bool  // a copy is charging on the CPU
+	pendWrite      int   // bytes the in-flight write event will commit
 	closeAfterSend bool
 	onSendDone     func()
+	writeCb        func(any) // bound once; finishes the in-flight write
 
 	// Read pump state.
 	autoRead  bool
 	reading   bool
+	pendRead  int64 // bytes the in-flight read event will account
 	onData    func(n int64)
 	TotalRead int64
+	readCb    func(any) // bound once; finishes the in-flight read
 
 	// rxBacklog is the truesize of packets queued for receive processing
 	// (IRQ CPU backlog) — charged against the receive buffer like Linux's
@@ -59,9 +63,12 @@ func (h *Host) OpenSocket(flow uint32, remote ipv4.Addr, cfg tcp.Config, nicIdx 
 	cfg.Timestamps = h.cfg.Kernel.Timestamps
 	cfg.Local = h.cfg.Addr
 	s := &Socket{h: h, flow: flow, remote: remote, nicIdx: nicIdx}
+	s.writeCb = func(any) { s.finishWrite() }
+	s.readCb = func(any) { s.finishRead() }
 	cfg.BacklogFn = func() int64 { return s.rxBacklog }
 	s.Conn = tcp.New(tcp.NewEnv(h.eng), fmt.Sprintf("%s/flow%d", h.cfg.Name, flow), cfg,
 		func(seg *tcp.Segment) { h.output(s, seg) })
+	s.Conn.SetSegmentPool(h.segPool)
 	s.Conn.SetWritable(func() { s.pumpWrite() })
 	s.Conn.SetReadable(func() { s.pumpRead() })
 	h.socks[flow] = s
@@ -125,27 +132,36 @@ func (s *Socket) pumpWrite() {
 		start = f
 	}
 	cost := s.h.cfg.Costs.Syscall + s.h.memsys.CopyStall(n, start)
-	cpu.Submit(cost, func() {
-		s.writing = false
-		accepted := s.Conn.Write(n)
-		if accepted != n {
-			panic("host: socket rejected a pre-checked write")
+	// The byte count rides in a socket field rather than the event argument:
+	// boxing an int into an `any` allocates, a pointer does not. The
+	// `writing` guard ensures a single outstanding write, so the field
+	// cannot be clobbered before finishWrite reads it.
+	s.pendWrite = n
+	cpu.SubmitCall(cost, s.writeCb, nil)
+}
+
+// finishWrite commits the in-flight write() call once its CPU cost elapses.
+func (s *Socket) finishWrite() {
+	n := s.pendWrite
+	s.writing = false
+	accepted := s.Conn.Write(n)
+	if accepted != n {
+		panic("host: socket rejected a pre-checked write")
+	}
+	s.curWrite -= n
+	s.sendLeft -= int64(n)
+	if s.sendLeft == 0 && s.curWrite == 0 {
+		if s.closeAfterSend {
+			s.Conn.Close()
 		}
-		s.curWrite -= n
-		s.sendLeft -= int64(n)
-		if s.sendLeft == 0 && s.curWrite == 0 {
-			if s.closeAfterSend {
-				s.Conn.Close()
-			}
-			if s.onSendDone != nil {
-				done := s.onSendDone
-				s.onSendDone = nil
-				done()
-			}
-			return
+		if s.onSendDone != nil {
+			done := s.onSendDone
+			s.onSendDone = nil
+			done()
 		}
-		s.pumpWrite()
-	})
+		return
+	}
+	s.pumpWrite()
 }
 
 // SetAutoRead installs a consumer: received data is drained as fast as the
@@ -176,12 +192,17 @@ func (s *Socket) pumpRead() {
 	}
 	c := s.h.cfg.Costs
 	cost := c.Syscall + c.ReadWakeup + s.h.memsys.CopyStall(int(got), start)
-	cpu.Submit(cost, func() {
-		s.reading = false
-		s.TotalRead += got
-		if s.onData != nil && got > 0 {
-			s.onData(got)
-		}
-		s.pumpRead()
-	})
+	s.pendRead = got
+	cpu.SubmitCall(cost, s.readCb, nil)
+}
+
+// finishRead accounts the in-flight read() call once its copy cost elapses.
+func (s *Socket) finishRead() {
+	got := s.pendRead
+	s.reading = false
+	s.TotalRead += got
+	if s.onData != nil && got > 0 {
+		s.onData(got)
+	}
+	s.pumpRead()
 }

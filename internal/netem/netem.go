@@ -33,11 +33,15 @@ type Impair struct {
 
 	seen    int64
 	dropped int64
+
+	deliverCb func(any) // bound once for delayed deliveries
 }
 
 // New wraps dst. The rng seed keeps runs reproducible.
 func New(eng *sim.Engine, dst phys.Receiver, seed int64) *Impair {
-	return &Impair{eng: eng, dst: dst, rng: rand.New(rand.NewSource(seed))}
+	im := &Impair{eng: eng, dst: dst, rng: rand.New(rand.NewSource(seed))}
+	im.deliverCb = func(x any) { im.dst.Receive(x.(*packet.Packet)) }
+	return im
 }
 
 // Seen returns packets observed.
@@ -53,12 +57,15 @@ func (im *Impair) Receive(pk *packet.Packet) {
 	switch {
 	case im.DropNth > 0 && n == im.DropNth:
 		im.dropped++
+		pk.Release()
 		return
 	case im.LossProb > 0 && im.rng.Float64() < im.LossProb:
 		im.dropped++
+		pk.Release()
 		return
 	case im.DropFn != nil && im.DropFn(n, pk):
 		im.dropped++
+		pk.Release()
 		return
 	}
 	delay := im.ExtraDelay
@@ -69,5 +76,5 @@ func (im *Impair) Receive(pk *packet.Packet) {
 		im.dst.Receive(pk)
 		return
 	}
-	im.eng.After(delay, func() { im.dst.Receive(pk) })
+	im.eng.AfterCall(delay, im.deliverCb, pk)
 }

@@ -56,6 +56,12 @@ type Packet struct {
 
 	// Hops counts store-and-forward elements traversed (diagnostics).
 	Hops int
+
+	// pool is the free list this packet came from (nil for plain
+	// allocations, e.g. pktgen's UDP packets). Release returns the packet
+	// there, so packets always circulate back to the host that allocated
+	// them regardless of where they are consumed or dropped.
+	pool *Pool
 }
 
 // IPLen returns the IP datagram length: payload plus transport and IP
@@ -65,6 +71,52 @@ func (p *Packet) IPLen() int { return p.Payload + p.L4Header + ipv4.HeaderLen }
 // String renders a compact description for diagnostics.
 func (p *Packet) String() string {
 	return fmt.Sprintf("pkt#%d %s %v->%v len=%d", p.ID, p.Proto, p.Src, p.Dst, p.IPLen())
+}
+
+// Pool is a free list of Packets scoped to one simulation (single-goroutine
+// by contract, so no locking). Hosts draw transmit packets from their pool
+// and every consumer — delivery, qdisc drop, ring overrun, switch drop-tail,
+// netem fault — calls Release at the point the packet leaves the simulation.
+type Pool struct {
+	free []*Packet
+	// ReleaseSeg, when set, recycles pk.Seg as the packet is released. The
+	// hook keeps layering intact: this package cannot name *tcp.Segment,
+	// but the host that owns both pools can.
+	ReleaseSeg func(seg any)
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Get returns a zeroed packet bound to this pool.
+func (p *Pool) Get() *Packet {
+	if p == nil {
+		return &Packet{}
+	}
+	if n := len(p.free); n > 0 {
+		pk := p.free[n-1]
+		p.free = p.free[:n-1]
+		return pk
+	}
+	return &Packet{pool: p}
+}
+
+// Release returns the packet to its origin pool, first recycling its
+// attached segment through the pool's ReleaseSeg hook. Every field —
+// including Seg — is cleared, so a recycled packet can never leak a stale
+// segment pointer into its next life. Packets without a pool (plain
+// allocations) are left to the garbage collector; Release is a safe no-op
+// for them and for nil, so release points need no conditionals.
+func (pk *Packet) Release() {
+	if pk == nil || pk.pool == nil {
+		return
+	}
+	p := pk.pool
+	if pk.Seg != nil && p.ReleaseSeg != nil {
+		p.ReleaseSeg(pk.Seg)
+	}
+	*pk = Packet{pool: p}
+	p.free = append(p.free, pk)
 }
 
 // IDGen hands out unique packet IDs. The zero value is ready to use; set

@@ -79,6 +79,11 @@ type Port struct {
 	dst     Receiver
 	packets int64
 	ipBytes int64
+
+	// Per-packet callbacks bound once so Send builds no closures: the packet
+	// rides the event argument through serialization and propagation.
+	wireDoneCb func(any) // serialization complete → start propagation
+	deliverCb  func(any) // propagation complete → hand to receiver
 }
 
 // NewPort builds a transmit port. rate is the nominal line rate; prop is the
@@ -88,13 +93,16 @@ func NewPort(eng *sim.Engine, name string, rate units.Bandwidth, prop units.Time
 		panic("phys: negative propagation delay")
 	}
 	effective := units.Bandwidth(float64(rate) * f.Derate())
-	return &Port{
+	p := &Port{
 		eng:     eng,
 		name:    name,
 		wire:    sim.NewPipe(eng, name+"/wire", effective),
 		framing: f,
 		prop:    prop,
 	}
+	p.wireDoneCb = func(x any) { p.eng.AfterCall(p.prop, p.deliverCb, x) }
+	p.deliverCb = func(x any) { p.dst.Receive(x.(*packet.Packet)) }
+	return p
 }
 
 // SetDst attaches the receiving end.
@@ -130,9 +138,7 @@ func (p *Port) Send(pk *packet.Packet) {
 	p.packets++
 	p.ipBytes += int64(pk.IPLen())
 	wb := p.framing.WireBytes(pk.IPLen())
-	p.wire.Send(wb, func() {
-		p.eng.After(p.prop, func() { p.dst.Receive(pk) })
-	})
+	p.wire.SendCall(wb, p.wireDoneCb, pk)
 }
 
 // Link is a full-duplex point-to-point connection: two independent ports.

@@ -1,0 +1,50 @@
+// Package prof wires the standard runtime/pprof profilers into the
+// command-line tools, so hot-path regressions can be diagnosed with
+// `go tool pprof` against a real sweep instead of a synthetic benchmark.
+package prof
+
+import (
+	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath and arranges an allocation profile
+// at memPath; either may be empty to disable that profile. It returns a stop
+// function that must be called exactly once before exit (a no-op when both
+// paths are empty — callers can defer it unconditionally).
+func Start(cpuPath, memPath string) func() {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			log.Fatalf("prof: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("prof: %v", err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				log.Printf("prof: close cpu profile: %v", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				log.Fatalf("prof: %v", err)
+			}
+			runtime.GC() // settle live-object counts before the snapshot
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				log.Fatalf("prof: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Printf("prof: close mem profile: %v", err)
+			}
+		}
+	}
+}

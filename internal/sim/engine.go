@@ -2,93 +2,215 @@
 // substrate in this repository: an event scheduler with deterministic
 // ordering, FIFO queueing resources, and a seeded random source.
 //
-// All simulated components share one *Engine. Components schedule closures at
-// absolute or relative simulated times; Run drains the event queue in
+// All simulated components share one *Engine. Components schedule callbacks
+// at absolute or relative simulated times; Run drains the event queue in
 // (time, insertion-order) order, so simulations are fully deterministic for a
 // given seed and construction order.
+//
+// # Allocation discipline
+//
+// The scheduler is the innermost loop of every experiment, so it recycles
+// event structs on an engine-local free list (the engine is single-goroutine
+// by contract, so no sync.Pool is needed), returns Timer handles by value,
+// and offers closure-free scheduling (ScheduleCall/AfterCall) that carries a
+// single argument to a pre-bound callback. Steady-state scheduling allocates
+// nothing; see bench_kernel_test.go at the repository root.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
 	"tengig/internal/units"
 )
 
-// event is a scheduled closure.
+// event is a scheduled callback. Exactly one of do / fn is set while the
+// event is live; both nil marks a cancelled event awaiting pop-and-recycle.
 type event struct {
-	at  units.Time
-	seq uint64 // tie-break: FIFO among events at the same instant
-	do  func()
-	idx int // heap index, -1 when popped/cancelled
+	at   units.Time
+	seq  uint64 // tie-break: FIFO among events at the same instant
+	do   func()
+	fn   func(any) // closure-free form: fn(arg)
+	arg  any
+	idx  int    // heap index, -1 when popped
+	gen  uint64 // bumped on recycle so stale Timers cannot touch a reused event
+	next *event // free-list link while recycled
 }
 
-type eventHeap []*event
+// dead reports whether the event has been cancelled (or already consumed).
+func (ev *event) dead() bool { return ev.do == nil && ev.fn == nil }
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// The event queue is a binary min-heap with the sift loops written out
+// directly rather than through container/heap: the interface indirection
+// (Less/Swap virtual calls per comparison) dominated the kernel's CPU
+// profile. Because (at, seq) is a total order — seq is unique — the pop
+// sequence is simply sorted order, so the heap's internal layout cannot
+// affect simulation results.
+
+// evLess orders events by (time, seq); seq is unique, so the order is total
+// and FIFO among events at the same instant.
+func evLess(a, b *event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// heapPush appends ev and restores the heap property.
+func (e *Engine) heapPush(ev *event) {
+	ev.idx = len(e.pq)
+	e.pq = append(e.pq, ev)
+	e.siftUp(ev.idx)
+}
+
+// heapPop removes and returns the earliest event.
+func (e *Engine) heapPop() *event {
+	h := e.pq
+	n := len(h) - 1
+	root := h[0]
+	last := h[n]
+	h[n] = nil
+	e.pq = h[:n]
+	root.idx = -1
+	if n > 0 {
+		h[0] = last
+		last.idx = 0
+		e.siftDown(0)
 	}
-	return h[i].seq < h[j].seq
+	return root
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
+
+// heapFix restores the heap property after the event at index i changed its
+// key (Reschedule).
+func (e *Engine) heapFix(i int) {
+	if !e.siftDown(i) {
+		e.siftUp(i)
+	}
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.idx = len(*h)
-	*h = append(*h, e)
+
+// siftUp moves the event at index i toward the root, hole-insertion style:
+// ancestors shift down and the event is placed once.
+func (e *Engine) siftUp(i int) {
+	h := e.pq
+	ev := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := h[parent]
+		if !evLess(ev, p) {
+			break
+		}
+		h[i] = p
+		p.idx = i
+		i = parent
+	}
+	h[i] = ev
+	ev.idx = i
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
+
+// siftDown moves the event at index i0 toward the leaves, reporting whether
+// it moved.
+func (e *Engine) siftDown(i0 int) bool {
+	h := e.pq
+	n := len(h)
+	i := i0
+	ev := h[i]
+	for {
+		l := 2*i + 1
+		if l >= n || l < 0 { // l < 0 guards int overflow
+			break
+		}
+		child, c := l, h[l]
+		if r := l + 1; r < n {
+			if cr := h[r]; evLess(cr, c) {
+				child, c = r, cr
+			}
+		}
+		if !evLess(c, ev) {
+			break
+		}
+		h[i] = c
+		c.idx = i
+		i = child
+	}
+	h[i] = ev
+	ev.idx = i
+	return i > i0
 }
 
 // Timer is a handle to a scheduled event that can be cancelled or
-// rescheduled. The zero value is not usable; Timers come from Schedule/After.
+// rescheduled. Timers are values: the zero value is an idle timer (Stop and
+// Reschedule report false, Pending reports false), and handles returned by
+// Schedule/After may be copied freely. The generation counter makes a stale
+// handle — one whose event has fired and been recycled — permanently inert.
 type Timer struct {
 	eng *Engine
 	ev  *event
+	gen uint64
 }
 
-// Stop cancels the timer if it has not fired yet. It reports whether the
-// event was still pending.
+// live reports whether the handle still references its original, uncancelled
+// event.
+func (t *Timer) live() bool {
+	return t.eng != nil && t.ev != nil && t.ev.gen == t.gen && !t.ev.dead()
+}
+
+// Stop cancels the timer if it has not fired yet, reporting whether the
+// event was still pending. Cancellation is lazy: the event is marked dead
+// and recycled when it reaches the top of the heap, so Stop is O(1) instead
+// of an O(log n) heap removal. Stop always detaches the handle (both eng and
+// ev are nilled), so repeated calls are safe no-ops.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.idx < 0 {
+	if t == nil {
 		return false
 	}
-	heap.Remove(&t.eng.pq, t.ev.idx)
-	t.ev.do = nil
-	t.ev = nil
+	eng, ev := t.eng, t.ev
+	t.eng, t.ev = nil, nil
+	if eng == nil || ev == nil || ev.gen != t.gen || ev.dead() {
+		return false
+	}
+	ev.do, ev.fn, ev.arg = nil, nil, nil
+	eng.live--
 	return true
 }
 
 // Pending reports whether the timer is still scheduled.
-func (t *Timer) Pending() bool { return t != nil && t.ev != nil && t.ev.idx >= 0 }
+func (t *Timer) Pending() bool { return t != nil && t.live() }
+
+// Reschedule rearms a still-pending timer in place, moving its event to
+// absolute time at without touching the free list. It reports false (and
+// does nothing) if the timer already fired or was stopped — callers fall
+// back to a fresh Schedule/After in that case. The event draws a fresh
+// sequence number, so the resulting pop order is identical to the old
+// cancel-then-reschedule sequence.
+func (t *Timer) Reschedule(at units.Time) bool {
+	if t == nil || !t.live() {
+		return false
+	}
+	eng, ev := t.eng, t.ev
+	if at < eng.now {
+		panic(fmt.Sprintf("sim: rescheduling into the past: at=%v now=%v", at, eng.now))
+	}
+	ev.at = at
+	ev.seq = eng.seq
+	eng.seq++
+	eng.heapFix(ev.idx)
+	return true
+}
 
 // Engine is the discrete-event scheduler. It is not safe for concurrent use;
 // a simulation runs on a single goroutine (parallelism in this repository
 // lives at the experiment level, where independent simulations run in
 // parallel under `go test`).
 type Engine struct {
-	pq      eventHeap
+	pq      []*event
 	now     units.Time
 	seq     uint64
+	live    int // scheduled, not-cancelled events (pq may also hold dead ones)
+	freeEv  *event
 	stopped bool
 	rng     *rand.Rand
 	// Executed counts events run; useful for progress assertions in tests.
 	Executed uint64
-	// HighWater is the deepest the event queue has been — a telemetry
-	// counter for spotting runs whose pending-event population explodes.
+	// HighWater is the deepest the live-event population has been — a
+	// telemetry counter for spotting runs whose pending-event population
+	// explodes.
 	HighWater int
 }
 
@@ -104,55 +226,114 @@ func (e *Engine) Now() units.Time { return e.now }
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// Schedule runs do at absolute simulated time at. Events scheduled for the
-// current instant run after the currently-executing event returns. Panics if
-// at is in the past.
-func (e *Engine) Schedule(at units.Time, do func()) *Timer {
+// newEvent takes an event from the free list (or allocates one), stamps it
+// with the next sequence number, and pushes it on the heap.
+func (e *Engine) newEvent(at units.Time) *event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: at=%v now=%v", at, e.now))
 	}
+	ev := e.freeEv
+	if ev != nil {
+		e.freeEv = ev.next
+		ev.next = nil
+	} else {
+		ev = &event{}
+	}
+	ev.at = at
+	ev.seq = e.seq
+	e.seq++
+	e.heapPush(ev)
+	e.live++
+	if e.live > e.HighWater {
+		e.HighWater = e.live
+	}
+	return ev
+}
+
+// recycle returns a popped event to the free list, bumping its generation so
+// stale Timer handles become inert.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.do, ev.fn, ev.arg = nil, nil, nil
+	ev.next = e.freeEv
+	e.freeEv = ev
+}
+
+// Schedule runs do at absolute simulated time at. Events scheduled for the
+// current instant run after the currently-executing event returns. Panics if
+// at is in the past.
+func (e *Engine) Schedule(at units.Time, do func()) Timer {
 	if do == nil {
 		panic("sim: scheduling nil closure")
 	}
-	ev := &event{at: at, seq: e.seq, do: do}
-	e.seq++
-	heap.Push(&e.pq, ev)
-	if n := len(e.pq); n > e.HighWater {
-		e.HighWater = n
+	ev := e.newEvent(at)
+	ev.do = do
+	return Timer{eng: e, ev: ev, gen: ev.gen}
+}
+
+// ScheduleCall runs fn(arg) at absolute simulated time at. It is the
+// closure-free twin of Schedule: the callback is a pre-bound function and
+// the per-event state rides in arg, so hot paths schedule without
+// allocating. Pass pointer-shaped args — boxing a large integer into the
+// interface would itself allocate.
+func (e *Engine) ScheduleCall(at units.Time, fn func(any), arg any) Timer {
+	if fn == nil {
+		panic("sim: scheduling nil callback")
 	}
-	return &Timer{eng: e, ev: ev}
+	ev := e.newEvent(at)
+	ev.fn = fn
+	ev.arg = arg
+	return Timer{eng: e, ev: ev, gen: ev.gen}
 }
 
 // After runs do after duration d from the current time.
-func (e *Engine) After(d units.Time, do func()) *Timer {
+func (e *Engine) After(d units.Time, do func()) Timer {
 	if d < 0 {
 		panic("sim: negative delay")
 	}
 	return e.Schedule(e.now+d, do)
 }
 
+// AfterCall runs fn(arg) after duration d from the current time.
+func (e *Engine) AfterCall(d units.Time, fn func(any), arg any) Timer {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	return e.ScheduleCall(e.now+d, fn, arg)
+}
+
 // Stop makes Run/RunUntil return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
-// Pending returns the number of scheduled events.
-func (e *Engine) Pending() int { return len(e.pq) }
+// Pending returns the number of scheduled (live) events.
+func (e *Engine) Pending() int { return e.live }
 
-// Step executes the single earliest event. It reports false if the queue is
-// empty.
+// Step executes the single earliest event. It reports false if no live
+// events remain. Cancelled events encountered on the way are recycled
+// without counting as execution.
 func (e *Engine) Step() bool {
 	for len(e.pq) > 0 {
-		ev := heap.Pop(&e.pq).(*event)
-		if ev.do == nil { // cancelled
+		ev := e.heapPop()
+		if ev.dead() {
+			e.recycle(ev)
 			continue
 		}
 		if ev.at < e.now {
 			panic("sim: time went backwards")
 		}
 		e.now = ev.at
-		do := ev.do
-		ev.do = nil
+		do, fn, arg := ev.do, ev.fn, ev.arg
+		e.live--
+		// Recycle before invoking: the event's generation advances first, so
+		// a Stop through a stale handle inside the callback itself correctly
+		// reports false, and the callback may immediately re-arm.
+		e.recycle(ev)
 		e.Executed++
-		do()
+		if do != nil {
+			do()
+		} else {
+			fn(arg)
+		}
 		return true
 	}
 	return false
@@ -170,11 +351,12 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(deadline units.Time) {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.pq) == 0 {
-			break
+		// Drop cancelled events at the head so the deadline peek sees the
+		// next live event, not a dead one that happens to sort first.
+		for len(e.pq) > 0 && e.pq[0].dead() {
+			e.recycle(e.heapPop())
 		}
-		// Peek.
-		if e.pq[0].at > deadline {
+		if len(e.pq) == 0 || e.pq[0].at > deadline {
 			break
 		}
 		e.Step()

@@ -181,7 +181,7 @@ func TestCancelProperty(t *testing.T) {
 		e := NewEngine(seed)
 		rng := rand.New(rand.NewSource(seed))
 		fired := make(map[int]bool)
-		timers := make([]*Timer, n)
+		timers := make([]Timer, n)
 		for i := 0; i < int(n); i++ {
 			i := i
 			timers[i] = e.Schedule(units.Time(rng.Intn(1000)), func() { fired[i] = true })
@@ -322,7 +322,7 @@ func TestPipeSetRate(t *testing.T) {
 // persist re-arm inside its own callback), so they are pinned here.
 func TestTimerLifecycleProperty(t *testing.T) {
 	type tstate struct {
-		tm      *Timer
+		tm      Timer
 		fired   bool
 		stopped bool
 	}
@@ -404,7 +404,7 @@ func TestTimerLifecycleProperty(t *testing.T) {
 func TestTimerRearmInsideCallback(t *testing.T) {
 	e := NewEngine(1)
 	var fired []units.Time
-	var tm *Timer
+	var tm Timer
 	var cb func()
 	cb = func() {
 		fired = append(fired, e.Now())

@@ -47,6 +47,24 @@ func (s *Server) Submit(cost units.Time, then func()) units.Time {
 	return s.freeAt
 }
 
+// SubmitCall is the closure-free twin of Submit: at completion it runs
+// fn(arg) instead of a captured closure, so per-packet hot paths can submit
+// work without allocating.
+func (s *Server) SubmitCall(cost units.Time, fn func(any), arg any) units.Time {
+	if cost < 0 {
+		panic("sim: negative service cost on " + s.name)
+	}
+	start := s.eng.Now()
+	if s.freeAt > start {
+		start = s.freeAt
+	}
+	s.freeAt = start + cost
+	s.busy += cost
+	s.jobs++
+	s.eng.ScheduleCall(s.freeAt, fn, arg)
+	return s.freeAt
+}
+
 // Delay adds cost service time without a completion callback. It returns the
 // completion time. Use it to account for load on a resource (e.g. competing
 // memory traffic) when nothing needs to be notified.
@@ -116,6 +134,13 @@ func (p *Pipe) SetRate(r units.Bandwidth) {
 func (p *Pipe) Send(n int, then func()) units.Time {
 	p.bytes += int64(n)
 	return p.Submit(units.TimeToSend(n, p.rate), then)
+}
+
+// SendCall enqueues n bytes and schedules fn(arg) at their completion
+// without allocating a closure.
+func (p *Pipe) SendCall(n int, fn func(any), arg any) units.Time {
+	p.bytes += int64(n)
+	return p.SubmitCall(units.TimeToSend(n, p.rate), fn, arg)
 }
 
 // Bytes returns the total bytes ever submitted.

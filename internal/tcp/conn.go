@@ -15,14 +15,20 @@ import (
 // adapter over sim.Engine; see NewEnv).
 type Env interface {
 	Now() units.Time
-	After(d units.Time, f func()) *sim.Timer
+	After(d units.Time, f func()) sim.Timer
+	// AfterCall is the closure-free form: fn is a callback bound once at
+	// connection setup, so arming a timer allocates nothing.
+	AfterCall(d units.Time, fn func(any), arg any) sim.Timer
 }
 
 // engineEnv adapts a sim.Engine to Env.
 type engineEnv struct{ eng *sim.Engine }
 
-func (e engineEnv) Now() units.Time                         { return e.eng.Now() }
-func (e engineEnv) After(d units.Time, f func()) *sim.Timer { return e.eng.After(d, f) }
+func (e engineEnv) Now() units.Time                        { return e.eng.Now() }
+func (e engineEnv) After(d units.Time, f func()) sim.Timer { return e.eng.After(d, f) }
+func (e engineEnv) AfterCall(d units.Time, fn func(any), arg any) sim.Timer {
+	return e.eng.AfterCall(d, fn, arg)
+}
 
 // NewEnv wraps a sim.Engine as a tcp.Env.
 func NewEnv(eng *sim.Engine) Env { return engineEnv{eng} }
@@ -130,13 +136,13 @@ type Conn struct {
 	srtt, rttvar units.Time
 	rttValid     bool
 	rto          units.Time
-	rtoTimer     *sim.Timer
+	rtoTimer     sim.Timer
 	rttSeq       int64
 	rttAt        units.Time
 	rttPending   bool
 
 	peerWndEdge  int64 // highest sndUna+window seen
-	persistTmr   *sim.Timer
+	persistTmr   sim.Timer
 	persistShift int // exponential backoff of the persist timer
 
 	finQueued bool
@@ -150,7 +156,7 @@ type Conn struct {
 	rcvqAvail   int64 // payload bytes readable
 	rcvqTrue    int64 // buffer space charged (truesize accounting)
 	advEdge     int64 // highest rcvNxt+window advertised (never shrinks)
-	delackTmr   *sim.Timer
+	delackTmr   sim.Timer
 	delackCnt   int
 	quickAcks   int
 	rcvMSSEst   int
@@ -170,8 +176,15 @@ type Conn struct {
 	// Web100-style telemetry (SetTelemetry). nil = disabled: every hook is
 	// a nil-receiver no-op, so the hot path pays only a pointer test.
 	telem      *telemetry.ConnRecorder
-	telemTmr   *sim.Timer
+	telemTmr   sim.Timer
 	telemEvery units.Time
+
+	// Timer callbacks bound once at construction so every arm/rearm is
+	// allocation-free (a method value like c.onRTO allocates per use).
+	rtoCb, persistCb, delackCb, telemCb func(any)
+
+	// segPool recycles emitted segments (SetSegmentPool); nil allocates.
+	segPool *SegmentPool
 
 	// Stats is the event counter block, exported for harness inspection.
 	Stats Stats
@@ -204,6 +217,10 @@ func New(env Env, name string, cfg Config, out Output) *Conn {
 		rcvMSSEst: est,
 		quickAcks: cfg.QuickAcks,
 	}
+	c.rtoCb = func(any) { c.onRTO() }
+	c.persistCb = func(any) { c.onPersist() }
+	c.delackCb = func(any) { c.onDelAck() }
+	c.telemCb = func(any) { c.onTelemetrySample() }
 	return c
 }
 
@@ -332,8 +349,9 @@ func (c *Conn) Read(max int64) int64 {
 	}
 	beforeFree := c.windowFreeSpace()
 	var got int64
-	for max > 0 && len(c.rcvq) > 0 {
-		ch := &c.rcvq[0]
+	drained := 0
+	for max > 0 && drained < len(c.rcvq) {
+		ch := &c.rcvq[drained]
 		take := ch.payload
 		if take > max {
 			take = max
@@ -348,8 +366,14 @@ func (c *Conn) Read(max int64) int64 {
 		max -= take
 		if ch.payload == 0 {
 			c.rcvqTrue -= ch.truesize // release any rounding remainder
-			c.rcvq = c.rcvq[1:]
+			drained++
 		}
+	}
+	if drained > 0 {
+		// Compact in place instead of re-slicing the head away: a marching
+		// c.rcvq[1:] walks through its backing array and forces a fresh
+		// allocation every time append catches up with the lost capacity.
+		c.rcvq = c.rcvq[:copy(c.rcvq, c.rcvq[drained:])]
 	}
 	if got > 0 {
 		// Window update: if the usable window was closed (or below one
@@ -395,14 +419,12 @@ func (c *Conn) truesize(p int, hdr int) int64 {
 
 // emitSYN sends SYN (or SYN|ACK).
 func (c *Conn) emitSYN(ack bool) {
-	seg := &Segment{
-		Seq:       0,
-		SYN:       true,
-		MSSOpt:    c.cfg.MSS(),
-		WScaleOpt: -1,
-		SACKPerm:  c.cfg.SACK,
-		Wnd:       c.advertiseWindow(),
-	}
+	seg := c.newSegment()
+	seg.SYN = true
+	seg.MSSOpt = c.cfg.MSS()
+	seg.WScaleOpt = -1
+	seg.SACKPerm = c.cfg.SACK
+	seg.Wnd = c.advertiseWindow()
 	if c.cfg.WindowScale {
 		seg.WScaleOpt = c.cfg.WScale()
 	}

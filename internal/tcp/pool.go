@@ -1,0 +1,54 @@
+package tcp
+
+// SegmentPool recycles Segment structs within one simulation. Like the
+// engine's event free list it is deliberately not a sync.Pool: a simulation
+// is single-goroutine by contract, so a plain stack suffices and costs no
+// synchronization. A nil *SegmentPool is valid and falls back to plain
+// allocation, so connections outside a pooled host (unit tests, harnesses)
+// need no wiring.
+//
+// Ownership rules (see DESIGN.md): the connection that emits a segment
+// allocates it from its own pool; the packet that carries it releases it —
+// through packet.Pool.ReleaseSeg — when the packet reaches its release
+// point (delivered, or dropped). Because every packet carries a back-pointer
+// to its origin pool, segments circulate back to the host that allocated
+// them, so the data/ACK asymmetry between endpoints never drains one pool
+// while flooding the other.
+type SegmentPool struct {
+	free []*Segment
+}
+
+// NewSegmentPool returns an empty pool.
+func NewSegmentPool() *SegmentPool { return &SegmentPool{} }
+
+// Get returns a zeroed Segment, recycled when possible.
+func (p *SegmentPool) Get() *Segment {
+	if p == nil {
+		return &Segment{}
+	}
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free = p.free[:n-1]
+		return s
+	}
+	return &Segment{}
+}
+
+// Put recycles a segment the caller owns and will never touch again. All
+// fields are zeroed; the SACKBlocks backing array is kept (emptied) so
+// recovery-time acknowledgments reuse its capacity.
+func (p *SegmentPool) Put(s *Segment) {
+	if p == nil || s == nil {
+		return
+	}
+	*s = Segment{SACKBlocks: s.SACKBlocks[:0]}
+	p.free = append(p.free, s)
+}
+
+// SetSegmentPool installs the pool emitted segments are drawn from (nil
+// reverts to plain allocation). The host layer wires this at socket open.
+func (c *Conn) SetSegmentPool(p *SegmentPool) { c.segPool = p }
+
+// newSegment returns a zeroed segment for emission, pooled when a pool is
+// installed.
+func (c *Conn) newSegment() *Segment { return c.segPool.Get() }

@@ -200,10 +200,12 @@ func (c *Conn) receiveData(seg *Segment) {
 	// Absorb any out-of-order spans now contiguous, moving each span's
 	// exact charge from the ooo pool into the receive queue. (An earlier
 	// even-share approximation could mis-charge the buffer after
-	// reordering bursts and skew the advertised window.)
-	for len(c.ooo) > 0 && c.ooo[0].from <= c.rcvNxt {
-		sp := c.ooo[0]
-		c.ooo = c.ooo[1:]
+	// reordering bursts and skew the advertised window.) Head drops
+	// compact in place so the backing array is reused.
+	absorbed := 0
+	for absorbed < len(c.ooo) && c.ooo[absorbed].from <= c.rcvNxt {
+		sp := c.ooo[absorbed]
+		absorbed++
 		if sp.to > c.rcvNxt {
 			gained := sp.to - c.rcvNxt
 			payload += gained
@@ -211,6 +213,9 @@ func (c *Conn) receiveData(seg *Segment) {
 		}
 		c.oooTrue -= sp.truesize
 		truesize += sp.truesize
+	}
+	if absorbed > 0 {
+		c.ooo = c.ooo[:copy(c.ooo, c.ooo[absorbed:])]
 	}
 
 	c.rcvq = append(c.rcvq, rcvChunk{payload: payload, truesize: truesize})
@@ -241,8 +246,8 @@ func (c *Conn) ackData() {
 	case c.delackCnt >= 2:
 		c.sendAck(false)
 	default:
-		if c.delackTmr == nil || !c.delackTmr.Pending() {
-			c.delackTmr = c.env.After(c.cfg.DelAckTimeout, c.onDelAck)
+		if !c.delackTmr.Pending() {
+			c.delackTmr = c.env.AfterCall(c.cfg.DelAckTimeout, c.delackCb, nil)
 		}
 	}
 }
@@ -252,7 +257,6 @@ func (c *Conn) ackData() {
 // retransmission racing the final ack) can arm the timer, and without the
 // guard it would fire after teardown and emit a stray acknowledgment.
 func (c *Conn) onDelAck() {
-	c.delackTmr = nil
 	switch c.state {
 	case StateEstablished, StateFinSent, StateSynRcvd:
 	default:
@@ -268,8 +272,5 @@ func (c *Conn) onDelAck() {
 // cancelDelAck stops any pending delayed-ack timer and clears its state.
 func (c *Conn) cancelDelAck() {
 	c.delackCnt = 0
-	if c.delackTmr != nil {
-		c.delackTmr.Stop()
-		c.delackTmr = nil
-	}
+	c.delackTmr.Stop()
 }

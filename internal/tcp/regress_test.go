@@ -166,7 +166,7 @@ func TestNoDelayedAckAfterDone(t *testing.T) {
 	if got := p.a.Stats.DelayedAcks; got != 0 {
 		t.Errorf("delayed acks after StateDone = %d, want 0 (stray timer ack)", got)
 	}
-	if p.a.delackTmr != nil && p.a.delackTmr.Pending() {
+	if p.a.delackTmr.Pending() {
 		t.Error("delayed-ack timer still pending on a done connection")
 	}
 	if p.a.State() != StateDone {
@@ -190,13 +190,13 @@ func TestDoneTearsDownTimers(t *testing.T) {
 		if c.State() != StateDone {
 			t.Fatalf("%s = %v, want done", c.Name(), c.State())
 		}
-		if c.rtoTimer != nil && c.rtoTimer.Pending() {
+		if c.rtoTimer.Pending() {
 			t.Errorf("%s: RTO timer pending after done", c.Name())
 		}
-		if c.persistTmr != nil && c.persistTmr.Pending() {
+		if c.persistTmr.Pending() {
 			t.Errorf("%s: persist timer pending after done", c.Name())
 		}
-		if c.delackTmr != nil && c.delackTmr.Pending() {
+		if c.delackTmr.Pending() {
 			t.Errorf("%s: delack timer pending after done", c.Name())
 		}
 	}

@@ -9,19 +9,23 @@ package tcp
 // buildSACKBlocks derives SACK blocks from the receiver's out-of-order
 // queue (up to MaxSACKBlocks, lowest spans first — our sender merges all
 // blocks, so RFC 2018's most-recent-first ordering is immaterial here).
-func (c *Conn) buildSACKBlocks() []SackBlock {
+// Blocks are appended to dst, which callers pass from a pooled segment so
+// recovery-time acknowledgments reuse its capacity.
+func (c *Conn) buildSACKBlocks(dst []SackBlock) []SackBlock {
 	if !c.sackOK || len(c.ooo) == 0 {
-		return nil
+		if len(dst) == 0 {
+			return nil
+		}
+		return dst[:0]
 	}
 	n := len(c.ooo)
 	if n > MaxSACKBlocks {
 		n = MaxSACKBlocks
 	}
-	blocks := make([]SackBlock, 0, n)
 	for _, sp := range c.ooo[:n] {
-		blocks = append(blocks, SackBlock{From: sp.from, To: sp.to})
+		dst = append(dst, SackBlock{From: sp.from, To: sp.to})
 	}
-	return blocks
+	return dst
 }
 
 // ingestSACK merges an acknowledgment's SACK blocks into the sender

@@ -176,7 +176,7 @@ func TestSACKBlocksBounded(t *testing.T) {
 	for i := int64(0); i < 10; i++ {
 		p.b.ooo = oooInsert(p.b.ooo, oooSpan{span{10000 + i*3000, 11000 + i*3000}, 1000})
 	}
-	blocks := p.b.buildSACKBlocks()
+	blocks := p.b.buildSACKBlocks(nil)
 	if len(blocks) != MaxSACKBlocks {
 		t.Errorf("blocks = %d, want %d", len(blocks), MaxSACKBlocks)
 	}

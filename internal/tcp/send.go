@@ -107,12 +107,11 @@ func (c *Conn) trySend() {
 
 // emitData sends one data segment. retx marks retransmissions.
 func (c *Conn) emitData(seq int64, length int, retx bool) {
-	seg := &Segment{
-		Seq: seq,
-		Len: length,
-		Ack: c.rcvNxt,
-		Wnd: c.advertiseWindow(),
-	}
+	seg := c.newSegment()
+	seg.Seq = seq
+	seg.Len = length
+	seg.Ack = c.rcvNxt
+	seg.Wnd = c.advertiseWindow()
 	c.stampTS(seg)
 	if !retx {
 		c.retrq = mergeSpan(c.retrq, span{seq, seq + int64(length)})
@@ -137,12 +136,11 @@ func (c *Conn) emitFIN() {
 	if c.state == StateEstablished {
 		c.state = StateFinSent
 	}
-	seg := &Segment{
-		Seq: c.sndNxt,
-		FIN: true,
-		Ack: c.rcvNxt,
-		Wnd: c.advertiseWindow(),
-	}
+	seg := c.newSegment()
+	seg.Seq = c.sndNxt
+	seg.FIN = true
+	seg.Ack = c.rcvNxt
+	seg.Wnd = c.advertiseWindow()
 	c.stampTS(seg)
 	c.Stats.SegsOut++
 	c.ackSent()
@@ -157,12 +155,11 @@ func (c *Conn) sendAck(delayed bool) {
 	default:
 		return
 	}
-	seg := &Segment{
-		Seq:        c.sndNxt,
-		Ack:        c.rcvNxt,
-		Wnd:        c.advertiseWindow(),
-		SACKBlocks: c.buildSACKBlocks(),
-	}
+	seg := c.newSegment()
+	seg.Seq = c.sndNxt
+	seg.Ack = c.rcvNxt
+	seg.Wnd = c.advertiseWindow()
+	seg.SACKBlocks = c.buildSACKBlocks(seg.SACKBlocks[:0])
 	c.stampTS(seg)
 	c.Stats.SegsOut++
 	c.Stats.AcksOut++
@@ -216,9 +213,14 @@ func (c *Conn) newAck(seg *Segment) {
 	wasCwndLimited := c.sndNxt-c.sndUna >= c.cwndBytes()-int64(c.MSS())
 	c.sndUna = seg.Ack
 	c.Stats.BytesAcked += acked
-	// Trim the retransmit queue and the SACK scoreboard.
-	for len(c.retrq) > 0 && c.retrq[0].to <= c.sndUna {
-		c.retrq = c.retrq[1:]
+	// Trim the retransmit queue and the SACK scoreboard. Head drops compact
+	// in place so the backing array is reused instead of marched through.
+	n := 0
+	for n < len(c.retrq) && c.retrq[n].to <= c.sndUna {
+		n++
+	}
+	if n > 0 {
+		c.retrq = c.retrq[:copy(c.retrq, c.retrq[n:])]
 	}
 	if len(c.retrq) > 0 && c.retrq[0].from < c.sndUna {
 		c.retrq[0].from = c.sndUna
@@ -279,8 +281,7 @@ func (c *Conn) newAck(seg *Segment) {
 	c.sampleState("ack")
 	if c.sndUna < c.sndNxt {
 		// RFC 6298 (5.3): restart the timer when an ack covers new data.
-		c.cancelRTO()
-		c.armRTO()
+		c.rearmRTO()
 	} else {
 		c.cancelRTO()
 		c.rto = c.boundRTO(c.computeRTO())
@@ -381,23 +382,28 @@ func (c *Conn) sampleRTT(rtt units.Time) {
 }
 
 func (c *Conn) armRTO() {
-	if c.rtoTimer != nil && c.rtoTimer.Pending() {
+	if c.rtoTimer.Pending() {
 		return
 	}
-	c.rtoTimer = c.env.After(c.rto, c.onRTO)
+	c.rtoTimer = c.env.AfterCall(c.rto, c.rtoCb, nil)
+}
+
+// rearmRTO restarts the timer at now+rto: in place when it is still
+// pending (no heap churn), else with a fresh arm. Pop order is identical
+// to the old cancel-then-arm pair either way.
+func (c *Conn) rearmRTO() {
+	if !c.rtoTimer.Reschedule(c.env.Now() + c.rto) {
+		c.rtoTimer = c.env.AfterCall(c.rto, c.rtoCb, nil)
+	}
 }
 
 func (c *Conn) cancelRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Stop()
-		c.rtoTimer = nil
-	}
+	c.rtoTimer.Stop()
 }
 
 // onRTO is the retransmission timeout: multiplicative decrease to one
 // segment, exponential timer backoff, retransmit the head of the queue.
 func (c *Conn) onRTO() {
-	c.rtoTimer = nil
 	if c.sndUna >= c.sndNxt {
 		return
 	}
@@ -437,24 +443,20 @@ func (c *Conn) persistInterval() units.Time {
 }
 
 func (c *Conn) armPersist() {
-	if c.persistTmr != nil && c.persistTmr.Pending() {
+	if c.persistTmr.Pending() {
 		return
 	}
-	c.persistTmr = c.env.After(c.persistInterval(), c.onPersist)
+	c.persistTmr = c.env.AfterCall(c.persistInterval(), c.persistCb, nil)
 }
 
 func (c *Conn) cancelPersist() {
 	c.persistShift = 0
-	if c.persistTmr != nil {
-		c.persistTmr.Stop()
-		c.persistTmr = nil
-	}
+	c.persistTmr.Stop()
 }
 
 // onPersist probes a zero window with one byte beyond the edge; the
 // receiver will discard it but respond with its current window.
 func (c *Conn) onPersist() {
-	c.persistTmr = nil
 	if c.PeerWindow() > 0 {
 		c.persistShift = 0
 		c.trySend()

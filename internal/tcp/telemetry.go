@@ -27,30 +27,26 @@ func (c *Conn) StartTelemetrySampler(interval units.Time) {
 	if c.telem == nil || interval <= 0 {
 		return
 	}
-	if c.telemTmr != nil && c.telemTmr.Pending() {
+	if c.telemTmr.Pending() {
 		return
 	}
 	c.telemEvery = interval
 	c.telem.RecordSample(c.instrumentSnapshot())
-	c.telemTmr = c.env.After(c.telemEvery, c.onTelemetrySample)
+	c.telemTmr = c.env.AfterCall(c.telemEvery, c.telemCb, nil)
 }
 
 func (c *Conn) onTelemetrySample() {
-	c.telemTmr = nil
 	if c.telem == nil || c.state == StateDone {
 		return
 	}
 	c.telem.RecordSample(c.instrumentSnapshot())
-	c.telemTmr = c.env.After(c.telemEvery, c.onTelemetrySample)
+	c.telemTmr = c.env.AfterCall(c.telemEvery, c.telemCb, nil)
 }
 
 // cancelTelemetrySampler stops the periodic sampler, recording one final
 // snapshot so the series always closes on the terminal state.
 func (c *Conn) cancelTelemetrySampler() {
-	if c.telemTmr != nil {
-		c.telemTmr.Stop()
-		c.telemTmr = nil
-	}
+	c.telemTmr.Stop()
 	if c.telem != nil {
 		c.telem.RecordSample(c.instrumentSnapshot())
 	}
