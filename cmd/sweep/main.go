@@ -35,6 +35,7 @@ import (
 	"tengig/internal/compare"
 	"tengig/internal/core"
 	"tengig/internal/prof"
+	"tengig/internal/sim"
 	"tengig/internal/telemetry"
 	"tengig/internal/tools"
 	"tengig/internal/units"
@@ -55,6 +56,7 @@ var (
 	telemDir = flag.String("telemetry", "", "directory for per-run telemetry bundles (JSONL + CSV); enables instrument sampling on every sweep point")
 	cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProf  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+	sched    = flag.String("sched", sim.DefaultScheduler().String(), "event scheduler: wheel (O(1) timing wheel) or heap (reference binary heap); results are byte-identical either way")
 )
 
 // workers returns the experiment-level worker count from the flags:
@@ -72,6 +74,11 @@ func workers() int {
 func main() {
 	log.SetFlags(0)
 	flag.Parse()
+	kind, err := sim.ParseScheduler(*sched)
+	if err != nil {
+		log.Fatalf("sweep: %v", err)
+	}
+	sim.SetDefaultScheduler(kind)
 	stopProfiles := prof.Start(*cpuProf, *memProf)
 	defer stopProfiles()
 	if *verify {

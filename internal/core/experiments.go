@@ -6,6 +6,7 @@ import (
 
 	"tengig/internal/host"
 	"tengig/internal/runner"
+	"tengig/internal/sim"
 	"tengig/internal/stats"
 	"tengig/internal/telemetry"
 	"tengig/internal/tools"
@@ -100,9 +101,10 @@ func (c SweepConfig) Run() (*SweepResult, error) {
 	if c.Timeout == 0 {
 		c.Timeout = 30 * units.Second
 	}
-	pts, walls, err := runner.MapTimed(c.Payloads, NormalizeWorkers(c.Workers),
-		func(_ int, payload int) (Point, error) {
-			pair, err := c.newPair()
+	pts, walls, err := runner.MapTimedWith(newWorkerEngine, c.Payloads, NormalizeWorkers(c.Workers),
+		func(eng *sim.Engine, _ int, payload int) (Point, error) {
+			eng.Reset(c.Seed)
+			pair, err := c.newPairOn(eng)
 			if err != nil {
 				return Point{}, err
 			}
@@ -151,11 +153,17 @@ func NormalizeWorkers(w int) int {
 	return w
 }
 
-func (c SweepConfig) newPair() (*tools.Pair, error) {
+// newWorkerEngine builds one reusable engine per worker. Seed zero is a
+// placeholder: every run Resets the engine to its own seed before building,
+// which restores the exact NewEngine(seed) state, so worker count and run
+// order can never leak into results.
+func newWorkerEngine(int) *sim.Engine { return sim.NewEngine(0) }
+
+func (c SweepConfig) newPairOn(eng *sim.Engine) (*tools.Pair, error) {
 	if c.ViaSwitch {
-		return ThroughSwitch(c.Seed, c.Profile, c.Tuning)
+		return ThroughSwitchOn(eng, c.Profile, c.Tuning)
 	}
-	return BackToBack(c.Seed, c.Profile, c.Tuning)
+	return BackToBackOn(eng, c.Profile, c.Tuning)
 }
 
 // LatencyConfig describes a NetPipe latency sweep (Figures 6, 7).
@@ -235,17 +243,19 @@ type MultiFlowSpec struct {
 	Duration units.Time
 }
 
-// RunMultiFlows builds and drives each aggregation spec on a private
-// engine, fanned across the worker pool, returning results in input order
-// (0 or 1 workers = serial, negative = one per CPU).
+// RunMultiFlows builds and drives each aggregation spec on a per-worker
+// reused engine (Reset to the spec's seed before each build), fanned across
+// the worker pool, returning results in input order (0 or 1 workers =
+// serial, negative = one per CPU).
 func RunMultiFlows(specs []MultiFlowSpec, workers int) ([]MultiFlowResult, error) {
-	return runner.Map(specs, NormalizeWorkers(workers),
-		func(_ int, s MultiFlowSpec) (MultiFlowResult, error) {
+	return runner.MapWith(newWorkerEngine, specs, NormalizeWorkers(workers),
+		func(eng *sim.Engine, _ int, s MultiFlowSpec) (MultiFlowResult, error) {
 			nics := s.SinkNICs
 			if nics == 0 {
 				nics = 1
 			}
-			m, err := NewMultiFlowNICs(s.Seed, s.Profile, s.Tuning,
+			eng.Reset(s.Seed)
+			m, err := NewMultiFlowNICsOn(eng, s.Profile, s.Tuning,
 				s.Senders, s.Kind, s.Reverse, nics)
 			if err != nil {
 				return MultiFlowResult{}, fmt.Errorf("%s: %w", s.Label, err)

@@ -40,7 +40,13 @@ func buildHost(eng *sim.Engine, p Profile, t Tuning, name string, n int) *host.H
 // BackToBack builds the Figure 2(a) topology: two hosts joined by a
 // crossover cable, with a connected measurement pair on flow 1.
 func BackToBack(seed int64, p Profile, t Tuning) (*tools.Pair, error) {
-	eng := sim.NewEngine(seed)
+	return BackToBackOn(sim.NewEngine(seed), p, t)
+}
+
+// BackToBackOn is BackToBack on a caller-supplied engine — typically one a
+// sweep worker has just Reset, so construction reuses the engine's warmed
+// pools instead of allocating a kernel per run.
+func BackToBackOn(eng *sim.Engine, p Profile, t Tuning) (*tools.Pair, error) {
 	a := buildHost(eng, p, t, "send", 1)
 	b := buildHost(eng, p, t, "recv", 2)
 	link := phys.NewLink(eng, "crossover", 10*units.GbitPerSecond, crossoverProp, phys.EthernetFraming{})
@@ -54,7 +60,11 @@ func BackToBack(seed int64, p Profile, t Tuning) (*tools.Pair, error) {
 // the §3.5.3 baseline ("our extensive experience with GbE chipsets allows
 // us to achieve near line-speed performance with a 1500-byte MTU").
 func GbEBackToBack(seed int64, p Profile, t Tuning) (*tools.Pair, error) {
-	eng := sim.NewEngine(seed)
+	return GbEBackToBackOn(sim.NewEngine(seed), p, t)
+}
+
+// GbEBackToBackOn is GbEBackToBack on a caller-supplied engine.
+func GbEBackToBackOn(eng *sim.Engine, p Profile, t Tuning) (*tools.Pair, error) {
 	mk := func(name string, n int) *host.Host {
 		cfg := HostConfig(p, name, ipv4.HostN(n))
 		cfg.Kernel.Uniprocessor = t.Uniprocessor
@@ -77,7 +87,11 @@ func GbEBackToBack(seed int64, p Profile, t Tuning) (*tools.Pair, error) {
 // ThroughSwitch builds the Figure 2(b) topology: two hosts through the
 // FastIron 1500.
 func ThroughSwitch(seed int64, p Profile, t Tuning) (*tools.Pair, error) {
-	eng := sim.NewEngine(seed)
+	return ThroughSwitchOn(sim.NewEngine(seed), p, t)
+}
+
+// ThroughSwitchOn is ThroughSwitch on a caller-supplied engine.
+func ThroughSwitchOn(eng *sim.Engine, p Profile, t Tuning) (*tools.Pair, error) {
 	a := buildHost(eng, p, t, "send", 1)
 	b := buildHost(eng, p, t, "recv", 2)
 	sw := fabric.FastIron(eng, "fastiron1500")
@@ -136,10 +150,14 @@ func NewMultiFlow(seed int64, sinkProfile Profile, t Tuning, n int, kind SenderK
 // on its own PCI-X bus, with flows spread round-robin across them — the
 // §3.5.2 two-adapter experiment that rules the bus out as the bottleneck.
 func NewMultiFlowNICs(seed int64, sinkProfile Profile, t Tuning, n int, kind SenderKind, reverse bool, sinkNICs int) (*MultiFlow, error) {
+	return NewMultiFlowNICsOn(sim.NewEngine(seed), sinkProfile, t, n, kind, reverse, sinkNICs)
+}
+
+// NewMultiFlowNICsOn is NewMultiFlowNICs on a caller-supplied engine.
+func NewMultiFlowNICsOn(eng *sim.Engine, sinkProfile Profile, t Tuning, n int, kind SenderKind, reverse bool, sinkNICs int) (*MultiFlow, error) {
 	if sinkNICs < 1 {
 		return nil, fmt.Errorf("core: sinkNICs %d", sinkNICs)
 	}
-	eng := sim.NewEngine(seed)
 	m := &MultiFlow{Eng: eng}
 	m.Switch = fabric.FastIron(eng, "fastiron1500")
 	m.Sink = buildHost(eng, sinkProfile, t, "sink", 1)

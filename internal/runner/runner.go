@@ -94,31 +94,38 @@ func Run(specs []Spec, opt Options) []Result {
 		report(r)
 	}
 
-	workers := opt.workers(len(specs))
-	if workers == 1 {
-		for i := range specs {
-			exec(i)
-		}
-		return results
-	}
+	fan(len(specs), opt.workers(len(specs)), func(_, i int) { exec(i) })
+	return results
+}
 
+// fan executes exec(worker, i) for every i in [0, n), spread across the
+// worker pool. With one worker everything runs on the calling goroutine;
+// otherwise each worker goroutine pulls indexes from a shared channel. The
+// worker id is stable for the lifetime of the call, which is what lets
+// MapTimedWith give each worker private reusable state.
+func fan(n, workers int, exec func(worker, i int)) {
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			exec(0, i)
+		}
+		return
+	}
 	next := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range next {
-				exec(i)
+				exec(worker, i)
 			}
-		}()
+		}(w)
 	}
-	for i := range specs {
+	for i := 0; i < n; i++ {
 		next <- i
 	}
 	close(next)
 	wg.Wait()
-	return results
 }
 
 // Map fans f over items and returns the outputs in input order. workers
@@ -128,6 +135,54 @@ func Run(specs []Spec, opt Options) []Result {
 func Map[T, R any](items []T, workers int, f func(i int, item T) (R, error)) ([]R, error) {
 	out, _, err := MapTimed(items, workers, f)
 	return out, err
+}
+
+// MapWith is Map with per-worker reusable state: newState is called once
+// per worker (lazily, on its first item), and that state is passed to every
+// f call the worker executes. The canonical state is a warmed simulation
+// engine that f resets per run, so a sweep stops paying construction and
+// steady-state allocation costs per point. f owns making the state
+// run-order independent (e.g. by reseeding); the runner only guarantees
+// each state is confined to one worker goroutine.
+func MapWith[S, T, R any](newState func(worker int) S, items []T, workers int, f func(state S, i int, item T) (R, error)) ([]R, error) {
+	out, _, err := MapTimedWith(newState, items, workers, f)
+	return out, err
+}
+
+// MapTimedWith is MapWith that additionally returns each run's host
+// wall-clock time, index-aligned with the outputs. Panics in f are captured
+// and reported as the run's error; the first failure in input order is
+// returned.
+func MapTimedWith[S, T, R any](newState func(worker int) S, items []T, workers int, f func(state S, i int, item T) (R, error)) ([]R, []time.Duration, error) {
+	out := make([]R, len(items))
+	walls := make([]time.Duration, len(items))
+	errs := make([]error, len(items))
+	w := Options{Workers: workers}.workers(len(items))
+	states := make([]S, w)
+	inited := make([]bool, w)
+	fan(len(items), w, func(worker, i int) {
+		if !inited[worker] {
+			states[worker] = newState(worker)
+			inited[worker] = true
+		}
+		start := time.Now()
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					errs[i] = fmt.Errorf("runner: run %d (%v) panicked: %v\n%s",
+						i, items[i], p, debug.Stack())
+				}
+			}()
+			out[i], errs[i] = f(states[worker], i, items[i])
+		}()
+		walls[i] = time.Since(start)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, walls, nil
 }
 
 // MapTimed is Map that additionally returns each run's host wall-clock

@@ -135,6 +135,123 @@ func TestDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestMapWithStateConfinement proves each worker gets exactly one state,
+// built lazily, and that no state is ever shared across workers: every item
+// records which state instance served it, and the distinct states must
+// number at most the pool size with no item left unserved.
+func TestMapWithStateConfinement(t *testing.T) {
+	type state struct{ worker, uses int }
+	for _, workers := range []int{1, 3, 0} {
+		var mu sync.Mutex
+		var built []*state
+		items := make([]int, 40)
+		for i := range items {
+			items[i] = i
+		}
+		out, err := MapWith(func(worker int) *state {
+			s := &state{worker: worker}
+			mu.Lock()
+			built = append(built, s)
+			mu.Unlock()
+			return s
+		}, items, workers, func(s *state, i int, item int) (int, error) {
+			s.uses++ // unsynchronized on purpose: -race fails if states leak across workers
+			return item * 2, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != items[i]*2 {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, items[i]*2)
+			}
+		}
+		total := 0
+		seen := map[int]bool{}
+		for _, s := range built {
+			if seen[s.worker] {
+				t.Fatalf("workers=%d: worker %d built two states", workers, s.worker)
+			}
+			seen[s.worker] = true
+			total += s.uses
+		}
+		if total != len(items) {
+			t.Fatalf("workers=%d: states served %d items, want %d", workers, total, len(items))
+		}
+		if workers == 1 && len(built) != 1 {
+			t.Fatalf("serial run built %d states, want 1", len(built))
+		}
+	}
+}
+
+// TestMapTimedWithPanicAndError checks MapTimedWith keeps Map's failure
+// semantics: panics become errors, and an error run does not poison the
+// worker's state for later items.
+func TestMapTimedWithPanicAndError(t *testing.T) {
+	_, _, err := MapTimedWith(func(int) int { return 0 }, []int{1, 2, 3}, 2,
+		func(_ int, _ int, n int) (int, error) {
+			if n == 2 {
+				panic("state run kaboom")
+			}
+			return n, nil
+		})
+	if err == nil {
+		t.Fatal("panic inside MapTimedWith reported no error")
+	}
+
+	sentinel := errors.New("point failed")
+	_, _, err = MapTimedWith(func(int) int { return 0 }, []int{1, 2, 3}, 1,
+		func(_ int, _ int, n int) (int, error) {
+			if n == 2 {
+				return 0, sentinel
+			}
+			return n, nil
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("MapTimedWith error = %v, want %v", err, sentinel)
+	}
+}
+
+// TestMapWithEngineReuseDeterminism is the runner-level contract behind
+// SweepConfig.Run's engine reuse: a per-worker engine Reset to each item's
+// seed must reproduce fresh-engine results exactly, at any worker count.
+func TestMapWithEngineReuseDeterminism(t *testing.T) {
+	seeds := []int64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}
+	run := func(eng *sim.Engine) string {
+		var log []units.Time
+		var step func()
+		step = func() {
+			log = append(log, eng.Now())
+			if len(log) < 150 {
+				eng.After(units.Time(eng.Rand().Intn(70)+1), step)
+			}
+		}
+		eng.After(1, step)
+		eng.Run()
+		return fmt.Sprintf("%v@%v hw=%d", eng.Executed, eng.Now(), eng.HighWater)
+	}
+	fresh := make([]string, len(seeds))
+	for i, seed := range seeds {
+		fresh[i] = run(sim.NewEngine(seed))
+	}
+	for _, workers := range []int{1, 3, 0} {
+		reused, err := MapWith(func(int) *sim.Engine { return sim.NewEngine(0) },
+			seeds, workers, func(eng *sim.Engine, _ int, seed int64) (string, error) {
+				eng.Reset(seed)
+				return run(eng), nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range seeds {
+			if reused[i] != fresh[i] {
+				t.Fatalf("workers=%d: seed %d: reused engine %q != fresh %q",
+					workers, seeds[i], reused[i], fresh[i])
+			}
+		}
+	}
+}
+
 func TestProgressCallback(t *testing.T) {
 	var mu sync.Mutex
 	var seen []int

@@ -7,6 +7,15 @@
 // (time, insertion-order) order, so simulations are fully deterministic for a
 // given seed and construction order.
 //
+// # Scheduler implementations
+//
+// The event queue behind an engine is pluggable (see SchedulerKind): the
+// default is a hierarchical timing wheel (wheel.go) with O(1) amortized
+// schedule, cancel, and reschedule; a binary min-heap (heap.go) remains as
+// the O(log n) reference implementation. Both pop events in the identical
+// total (time, seq) order, so the choice can never change a simulated
+// outcome — golden digests and property tests pin this.
+//
 // # Allocation discipline
 //
 // The scheduler is the innermost loop of every experiment, so it recycles
@@ -14,7 +23,10 @@
 // by contract, so no sync.Pool is needed), returns Timer handles by value,
 // and offers closure-free scheduling (ScheduleCall/AfterCall) that carries a
 // single argument to a pre-bound callback. Steady-state scheduling allocates
-// nothing; see bench_kernel_test.go at the repository root.
+// nothing; see bench_kernel_test.go at the repository root. The free list is
+// capped (maxFreeEvents) and Engine.Reset releases grown backing storage, so
+// a long sweep does not hold its peak-watermark memory for the whole
+// process.
 package sim
 
 import (
@@ -25,114 +37,21 @@ import (
 )
 
 // event is a scheduled callback. Exactly one of do / fn is set while the
-// event is live; both nil marks a cancelled event awaiting pop-and-recycle.
+// event is live; both nil marks a cancelled event awaiting recycling.
 type event struct {
 	at   units.Time
 	seq  uint64 // tie-break: FIFO among events at the same instant
 	do   func()
 	fn   func(any) // closure-free form: fn(arg)
 	arg  any
-	idx  int    // heap index, -1 when popped
+	idx  int    // scheduler position: heap array index or wheel slot/idxReady; idxNone when out
 	gen  uint64 // bumped on recycle so stale Timers cannot touch a reused event
-	next *event // free-list link while recycled
+	next *event // free-list link while recycled; wheel list link while queued
+	prev *event // wheel list back link
 }
 
 // dead reports whether the event has been cancelled (or already consumed).
 func (ev *event) dead() bool { return ev.do == nil && ev.fn == nil }
-
-// The event queue is a binary min-heap with the sift loops written out
-// directly rather than through container/heap: the interface indirection
-// (Less/Swap virtual calls per comparison) dominated the kernel's CPU
-// profile. Because (at, seq) is a total order — seq is unique — the pop
-// sequence is simply sorted order, so the heap's internal layout cannot
-// affect simulation results.
-
-// evLess orders events by (time, seq); seq is unique, so the order is total
-// and FIFO among events at the same instant.
-func evLess(a, b *event) bool {
-	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
-}
-
-// heapPush appends ev and restores the heap property.
-func (e *Engine) heapPush(ev *event) {
-	ev.idx = len(e.pq)
-	e.pq = append(e.pq, ev)
-	e.siftUp(ev.idx)
-}
-
-// heapPop removes and returns the earliest event.
-func (e *Engine) heapPop() *event {
-	h := e.pq
-	n := len(h) - 1
-	root := h[0]
-	last := h[n]
-	h[n] = nil
-	e.pq = h[:n]
-	root.idx = -1
-	if n > 0 {
-		h[0] = last
-		last.idx = 0
-		e.siftDown(0)
-	}
-	return root
-}
-
-// heapFix restores the heap property after the event at index i changed its
-// key (Reschedule).
-func (e *Engine) heapFix(i int) {
-	if !e.siftDown(i) {
-		e.siftUp(i)
-	}
-}
-
-// siftUp moves the event at index i toward the root, hole-insertion style:
-// ancestors shift down and the event is placed once.
-func (e *Engine) siftUp(i int) {
-	h := e.pq
-	ev := h[i]
-	for i > 0 {
-		parent := (i - 1) / 2
-		p := h[parent]
-		if !evLess(ev, p) {
-			break
-		}
-		h[i] = p
-		p.idx = i
-		i = parent
-	}
-	h[i] = ev
-	ev.idx = i
-}
-
-// siftDown moves the event at index i0 toward the leaves, reporting whether
-// it moved.
-func (e *Engine) siftDown(i0 int) bool {
-	h := e.pq
-	n := len(h)
-	i := i0
-	ev := h[i]
-	for {
-		l := 2*i + 1
-		if l >= n || l < 0 { // l < 0 guards int overflow
-			break
-		}
-		child, c := l, h[l]
-		if r := l + 1; r < n {
-			if cr := h[r]; evLess(cr, c) {
-				child, c = r, cr
-			}
-		}
-		if !evLess(c, ev) {
-			break
-		}
-		h[i] = c
-		c.idx = i
-		i = child
-	}
-	h[i] = ev
-	ev.idx = i
-	return i > i0
-}
 
 // Timer is a handle to a scheduled event that can be cancelled or
 // rescheduled. Timers are values: the zero value is an idle timer (Stop and
@@ -153,9 +72,10 @@ func (t *Timer) live() bool {
 
 // Stop cancels the timer if it has not fired yet, reporting whether the
 // event was still pending. Cancellation is lazy: the event is marked dead
-// and recycled when it reaches the top of the heap, so Stop is O(1) instead
-// of an O(log n) heap removal. Stop always detaches the handle (both eng and
-// ev are nilled), so repeated calls are safe no-ops.
+// and recycled when the scheduler next touches it (at pop for the heap, at
+// pop or first cascade for the wheel), so Stop is O(1) instead of an
+// eager removal. Stop always detaches the handle (both eng and ev are
+// nilled), so repeated calls are safe no-ops.
 func (t *Timer) Stop() bool {
 	if t == nil {
 		return false
@@ -190,22 +110,33 @@ func (t *Timer) Reschedule(at units.Time) bool {
 	ev.at = at
 	ev.seq = eng.seq
 	eng.seq++
-	eng.heapFix(ev.idx)
+	eng.sched.update(ev)
 	return true
 }
+
+// maxFreeEvents caps the engine's event free list. The cap only binds when
+// a burst retires far more events than steady state re-arms — without it a
+// sweep's worst moment would pin its peak event population in memory for
+// the rest of the process. 32768 events (a few MB) is well above the
+// high-water mark of the heaviest multi-flow run, so the zero-alloc
+// guarantee is unaffected.
+const maxFreeEvents = 32768
 
 // Engine is the discrete-event scheduler. It is not safe for concurrent use;
 // a simulation runs on a single goroutine (parallelism in this repository
 // lives at the experiment level, where independent simulations run in
 // parallel under `go test`).
 type Engine struct {
-	pq      []*event
-	now     units.Time
-	seq     uint64
-	live    int // scheduled, not-cancelled events (pq may also hold dead ones)
-	freeEv  *event
-	stopped bool
-	rng     *rand.Rand
+	sched     scheduler
+	kind      SchedulerKind
+	now       units.Time
+	seq       uint64
+	live      int // scheduled, not-cancelled events (the scheduler may also hold dead ones)
+	freeEv    *event
+	freeN     int          // free-list length, kept under maxFreeEvents
+	recycleFn func(*event) // bound recycle, built once so Reset stays allocation-free
+	stopped   bool
+	rng       *rand.Rand
 	// Executed counts events run; useful for progress assertions in tests.
 	Executed uint64
 	// HighWater is the deepest the live-event population has been — a
@@ -215,9 +146,39 @@ type Engine struct {
 }
 
 // NewEngine returns an engine whose clock starts at zero, with a
-// deterministic random source derived from seed.
-func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+// deterministic random source derived from seed, using the default
+// scheduler kind (see SetDefaultScheduler).
+func NewEngine(seed int64) *Engine { return NewEngineWith(seed, defaultSched) }
+
+// NewEngineWith is NewEngine with an explicit scheduler implementation.
+func NewEngineWith(seed int64, kind SchedulerKind) *Engine {
+	e := &Engine{kind: kind, rng: rand.New(rand.NewSource(seed))}
+	e.sched = newScheduler(e, kind)
+	e.recycleFn = e.recycle
+	return e
+}
+
+// Scheduler reports which event-queue implementation the engine runs on.
+func (e *Engine) Scheduler() SchedulerKind { return e.kind }
+
+// Reset returns the engine to the state NewEngine(seed) would give —
+// clock at zero, empty queue, reseeded RNG, zeroed counters — while
+// retaining warmed allocations: the event free list (trimmed to
+// maxFreeEvents) and the scheduler's bucket storage. Sweeps reuse one
+// engine per worker across runs instead of reallocating; results are
+// byte-identical to fresh-engine runs because nothing observable survives
+// the reset (stale Timer handles are neutralized by the recycle
+// generation bump).
+func (e *Engine) Reset(seed int64) {
+	e.sched.drain(e.recycleFn)
+	e.sched.reset()
+	e.now = 0
+	e.seq = 0
+	e.live = 0
+	e.stopped = false
+	e.Executed = 0
+	e.HighWater = 0
+	e.rng.Seed(seed)
 }
 
 // Now returns the current simulated time.
@@ -227,7 +188,7 @@ func (e *Engine) Now() units.Time { return e.now }
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
 // newEvent takes an event from the free list (or allocates one), stamps it
-// with the next sequence number, and pushes it on the heap.
+// with the next sequence number, and hands it to the scheduler.
 func (e *Engine) newEvent(at units.Time) *event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: at=%v now=%v", at, e.now))
@@ -236,13 +197,13 @@ func (e *Engine) newEvent(at units.Time) *event {
 	if ev != nil {
 		e.freeEv = ev.next
 		ev.next = nil
+		e.freeN--
 	} else {
 		ev = &event{}
 	}
 	ev.at = at
 	ev.seq = e.seq
 	e.seq++
-	e.heapPush(ev)
 	e.live++
 	if e.live > e.HighWater {
 		e.HighWater = e.live
@@ -250,13 +211,21 @@ func (e *Engine) newEvent(at units.Time) *event {
 	return ev
 }
 
-// recycle returns a popped event to the free list, bumping its generation so
-// stale Timer handles become inert.
+// recycle returns a retired event to the free list, bumping its generation
+// so stale Timer handles become inert. Beyond maxFreeEvents the event is
+// dropped for the GC instead, so a retirement burst cannot pin its
+// peak-watermark population forever.
 func (e *Engine) recycle(ev *event) {
 	ev.gen++
 	ev.do, ev.fn, ev.arg = nil, nil, nil
+	ev.prev = nil
+	if e.freeN >= maxFreeEvents {
+		ev.next = nil
+		return
+	}
 	ev.next = e.freeEv
 	e.freeEv = ev
+	e.freeN++
 }
 
 // Schedule runs do at absolute simulated time at. Events scheduled for the
@@ -268,6 +237,7 @@ func (e *Engine) Schedule(at units.Time, do func()) Timer {
 	}
 	ev := e.newEvent(at)
 	ev.do = do
+	e.sched.push(ev)
 	return Timer{eng: e, ev: ev, gen: ev.gen}
 }
 
@@ -283,6 +253,7 @@ func (e *Engine) ScheduleCall(at units.Time, fn func(any), arg any) Timer {
 	ev := e.newEvent(at)
 	ev.fn = fn
 	ev.arg = arg
+	e.sched.push(ev)
 	return Timer{eng: e, ev: ev, gen: ev.gen}
 }
 
@@ -308,35 +279,46 @@ func (e *Engine) Stop() { e.stopped = true }
 // Pending returns the number of scheduled (live) events.
 func (e *Engine) Pending() int { return e.live }
 
+// peekLive returns the earliest live event due at or before limit, or nil.
+// Dead (cancelled) events encountered at the front are recycled on the way,
+// so a deadline peek never mistakes a cancelled timer for pending work.
+func (e *Engine) peekLive(limit units.Time) *event {
+	for {
+		ev := e.sched.peek(limit)
+		if ev == nil || !ev.dead() {
+			return ev
+		}
+		e.sched.pop()
+		e.recycle(ev)
+	}
+}
+
 // Step executes the single earliest event. It reports false if no live
 // events remain. Cancelled events encountered on the way are recycled
 // without counting as execution.
 func (e *Engine) Step() bool {
-	for len(e.pq) > 0 {
-		ev := e.heapPop()
-		if ev.dead() {
-			e.recycle(ev)
-			continue
-		}
-		if ev.at < e.now {
-			panic("sim: time went backwards")
-		}
-		e.now = ev.at
-		do, fn, arg := ev.do, ev.fn, ev.arg
-		e.live--
-		// Recycle before invoking: the event's generation advances first, so
-		// a Stop through a stale handle inside the callback itself correctly
-		// reports false, and the callback may immediately re-arm.
-		e.recycle(ev)
-		e.Executed++
-		if do != nil {
-			do()
-		} else {
-			fn(arg)
-		}
-		return true
+	ev := e.peekLive(maxTime)
+	if ev == nil {
+		return false
 	}
-	return false
+	e.sched.pop()
+	if ev.at < e.now {
+		panic("sim: time went backwards")
+	}
+	e.now = ev.at
+	do, fn, arg := ev.do, ev.fn, ev.arg
+	e.live--
+	// Recycle before invoking: the event's generation advances first, so
+	// a Stop through a stale handle inside the callback itself correctly
+	// reports false, and the callback may immediately re-arm.
+	e.recycle(ev)
+	e.Executed++
+	if do != nil {
+		do()
+	} else {
+		fn(arg)
+	}
+	return true
 }
 
 // Run executes events until the queue is empty or Stop is called.
@@ -351,12 +333,10 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(deadline units.Time) {
 	e.stopped = false
 	for !e.stopped {
-		// Drop cancelled events at the head so the deadline peek sees the
-		// next live event, not a dead one that happens to sort first.
-		for len(e.pq) > 0 && e.pq[0].dead() {
-			e.recycle(e.heapPop())
-		}
-		if len(e.pq) == 0 || e.pq[0].at > deadline {
+		// The bounded peek looks through cancelled events at the front so
+		// the deadline check sees the next live event — and, on the wheel,
+		// never cascades timers that sit beyond the deadline.
+		if e.peekLive(deadline) == nil {
 			break
 		}
 		e.Step()

@@ -159,19 +159,24 @@ func TestDeterminism(t *testing.T) {
 
 // Property: events always execute in nondecreasing time order regardless of
 // insertion order.
-func TestHeapOrderProperty(t *testing.T) {
-	f := func(seed int64, raw []uint16) bool {
-		e := NewEngine(seed)
-		var order []units.Time
-		for _, r := range raw {
-			at := units.Time(r)
-			e.Schedule(at, func() { order = append(order, e.Now()) })
-		}
-		e.Run()
-		return sort.SliceIsSorted(order, func(i, j int) bool { return order[i] < order[j] })
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
-		t.Error(err)
+func TestSchedOrderProperty(t *testing.T) {
+	for _, kind := range []SchedulerKind{SchedWheel, SchedHeap} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			f := func(seed int64, raw []uint16) bool {
+				e := NewEngineWith(seed, kind)
+				var order []units.Time
+				for _, r := range raw {
+					at := units.Time(r)
+					e.Schedule(at, func() { order = append(order, e.Now()) })
+				}
+				e.Run()
+				return sort.SliceIsSorted(order, func(i, j int) bool { return order[i] < order[j] })
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+				t.Error(err)
+			}
+		})
 	}
 }
 

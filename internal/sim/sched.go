@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"tengig/internal/units"
+)
+
+// maxTime is the "no limit" bound for scheduler peeks.
+const maxTime = units.Time(math.MaxInt64)
+
+// evLess orders events by (time, seq); seq is unique, so the order is total
+// and FIFO among events at the same instant. Both schedulers pop in exactly
+// this order, which is why the choice of scheduler can never change a
+// simulated outcome.
+func evLess(a, b *event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// scheduler is the event-queue strategy behind an Engine. Implementations
+// must pop events in ascending (at, seq) order — the total order that makes
+// simulations deterministic — but are free to organize storage however they
+// like. Cancellation is lazy: dead events stay queued until popped (or, for
+// the wheel, until a cascade prunes them), so schedulers must tolerate dead
+// events anywhere.
+type scheduler interface {
+	// push inserts a new event (at, seq already stamped).
+	push(ev *event)
+	// peek returns the earliest event if its time is <= limit, nil
+	// otherwise (or when empty). peek may reorganize internal storage up
+	// to limit (the wheel advances and cascades), but must not advance
+	// past the earliest event and must never run callbacks.
+	peek(limit units.Time) *event
+	// pop removes and returns the earliest event, nil when empty.
+	pop() *event
+	// update re-keys ev after its (at, seq) changed in place (Reschedule).
+	update(ev *event)
+	// len reports how many events are held, including dead ones.
+	len() int
+	// drain calls f for every held event, in no particular order, and
+	// empties the scheduler.
+	drain(f func(*event))
+	// reset empties the scheduler and releases any monotonically-grown
+	// backing storage (fixed-size bucket arrays may be kept).
+	reset()
+}
+
+// SchedulerKind selects an Engine's event-queue implementation.
+type SchedulerKind uint8
+
+const (
+	// SchedWheel is the hierarchical timing wheel: O(1) amortized
+	// schedule, cancel, and reschedule. The default.
+	SchedWheel SchedulerKind = iota
+	// SchedHeap is the binary min-heap reference implementation:
+	// O(log n) sifts, kept selectable (-sched=heap) so determinism can be
+	// cross-checked against an independently ordered structure.
+	SchedHeap
+)
+
+// String returns the flag spelling of the kind.
+func (k SchedulerKind) String() string {
+	switch k {
+	case SchedWheel:
+		return "wheel"
+	case SchedHeap:
+		return "heap"
+	}
+	return fmt.Sprintf("SchedulerKind(%d)", uint8(k))
+}
+
+// ParseScheduler maps a -sched flag value onto a SchedulerKind.
+func ParseScheduler(s string) (SchedulerKind, error) {
+	switch s {
+	case "wheel":
+		return SchedWheel, nil
+	case "heap":
+		return SchedHeap, nil
+	}
+	return SchedWheel, fmt.Errorf("sim: unknown scheduler %q (want wheel or heap)", s)
+}
+
+// defaultSched is the kind NewEngine uses. It is read once per engine
+// construction; set it from main (or a test's setup) before any engines are
+// built concurrently.
+var defaultSched = SchedWheel
+
+// SetDefaultScheduler changes the implementation NewEngine picks. Call it
+// before constructing engines; it is not synchronized against concurrent
+// engine construction.
+func SetDefaultScheduler(k SchedulerKind) { defaultSched = k }
+
+// DefaultScheduler reports the kind NewEngine currently picks.
+func DefaultScheduler() SchedulerKind { return defaultSched }
+
+// newScheduler builds a scheduler of the given kind for eng.
+func newScheduler(eng *Engine, kind SchedulerKind) scheduler {
+	if kind == SchedHeap {
+		return &heapSched{}
+	}
+	return newWheel(eng)
+}

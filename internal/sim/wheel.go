@@ -1,0 +1,301 @@
+package sim
+
+import (
+	"math/bits"
+
+	"tengig/internal/units"
+)
+
+// wheelSched is a hierarchical timing wheel (Varghese/Lauck): a stack of
+// bucket arrays over the engine's picosecond ticks, 64 slots per level, each
+// level 64x coarser than the one below. Scheduling, cancelling, and
+// rescheduling are O(1); an event cascades down at most wheelLevels-1 times
+// before it fires, so the total work per event is O(1) amortized — against
+// the heap's O(log n) sift per operation, with n in the hundreds for a busy
+// multi-flow simulation.
+//
+// # Placement
+//
+// The wheel tracks cur, the tick it has advanced to. An event lands at the
+// level of the highest bit where its tick differs from cur — i.e. the
+// coarsest level at which it is distinguishable from "now" — in the slot its
+// own bits select there:
+//
+//	level 0  slots of 1 tick        next 64 ticks
+//	level 1  slots of 64 ticks      next 4096 ticks
+//	level l  slots of 64^l ticks    ...
+//
+// Within one level every occupied slot is strictly ahead of cur's position,
+// so the earliest pending event is always in the lowest occupied level's
+// lowest occupied slot (one TrailingZeros64 per level finds it). Advancing
+// into a higher-level slot re-files its events one level (or more) down;
+// advancing into a level-0 slot moves its events — all carrying exactly that
+// tick — onto the ready list.
+//
+// # Determinism
+//
+// Pops must come out in ascending (at, seq) order, byte-identical to the
+// heap. Two properties deliver that: levels partition time so lower levels
+// strictly precede higher ones, and the ready list is kept explicitly sorted
+// by (at, seq) — slot drains append in order, and the rare out-of-band
+// insertion (an event scheduled behind the wheel's bounded advance, below)
+// walks to its sorted position. The golden digests and the wheel-vs-heap
+// property tests pin this.
+//
+// # Bounded advance and lazy cancellation
+//
+// peek(limit) advances the wheel only while the next candidate slot begins
+// at or before limit, so RunUntil with a near deadline never cascades
+// far-future timers (and never pays to re-file them). Because the engine's
+// clock may sit behind cur after such a peek, a later Schedule can target a
+// tick the wheel has already passed; those events go straight onto the
+// ready list at their sorted position. Cancelled (dead) events are pruned
+// whenever a cascade touches them instead of riding the wheel to level 0 —
+// RTO-style timers that are armed far out and almost always cancelled cost
+// one insert and one prune, never a full cascade.
+const (
+	wheelBits  = 6
+	wheelSlots = 1 << wheelBits // 64
+	wheelMask  = wheelSlots - 1
+	// wheelLevels * wheelBits must cover every positive tick: bit 62 (the
+	// highest in a positive int64) lives at level 62/6 = 10.
+	wheelLevels = 11
+)
+
+// Values of event.idx while an event is held by the wheel: a slot index
+// (level*wheelSlots + slot) when on the wheel proper, idxReady on the
+// sorted ready list, idxNone outside any structure. (The heap uses the same
+// field as its array index; an engine owns exactly one scheduler, so the
+// uses never mix.)
+const (
+	idxNone  = -1
+	idxReady = -2
+)
+
+type wheelSched struct {
+	eng   *Engine
+	cur   int64               // tick the wheel has advanced to (1 tick = 1 ps)
+	count int                 // events held, including dead ones
+	occ   [wheelLevels]uint64 // per-level bitmap of non-empty slots
+	head  [wheelLevels * wheelSlots]*event
+	tail  [wheelLevels * wheelSlots]*event
+	// ready holds events due no later than cur, sorted by (at, seq), next
+	// pop first. Doubly linked so Reschedule can unlink in O(1).
+	rdHead, rdTail *event
+}
+
+func newWheel(eng *Engine) *wheelSched { return &wheelSched{eng: eng} }
+
+func (w *wheelSched) len() int { return w.count }
+
+func (w *wheelSched) push(ev *event) {
+	w.count++
+	w.insert(ev)
+}
+
+// insert files ev by its tick: behind or at cur onto the ready list, ahead
+// of cur into the slot its highest cur-differing bit selects.
+func (w *wheelSched) insert(ev *event) {
+	t := int64(ev.at)
+	if t <= w.cur {
+		w.readyInsert(ev)
+		return
+	}
+	lvl := (63 - bits.LeadingZeros64(uint64(t^w.cur))) / wheelBits
+	s := int(t>>(uint(lvl)*wheelBits)) & wheelMask
+	idx := lvl*wheelSlots + s
+	ev.idx = idx
+	ev.next = nil
+	ev.prev = w.tail[idx]
+	if ev.prev == nil {
+		w.head[idx] = ev
+	} else {
+		ev.prev.next = ev
+	}
+	w.tail[idx] = ev
+	w.occ[lvl] |= 1 << uint(s)
+}
+
+// readyInsert links ev into the ready list at its (at, seq) position.
+// Appending at the tail is the overwhelmingly common case (slot drains feed
+// events in order, and fresh events carry the largest seq); out-of-order
+// stragglers walk from the head, where they belong.
+func (w *wheelSched) readyInsert(ev *event) {
+	ev.idx = idxReady
+	if w.rdTail == nil {
+		ev.prev, ev.next = nil, nil
+		w.rdHead, w.rdTail = ev, ev
+		return
+	}
+	if evLess(w.rdTail, ev) {
+		ev.prev, ev.next = w.rdTail, nil
+		w.rdTail.next = ev
+		w.rdTail = ev
+		return
+	}
+	n := w.rdHead
+	for evLess(n, ev) { // terminates: the tail is not less than ev
+		n = n.next
+	}
+	ev.next = n
+	ev.prev = n.prev
+	if n.prev == nil {
+		w.rdHead = ev
+	} else {
+		n.prev.next = ev
+	}
+	n.prev = ev
+}
+
+// unlink removes ev from whichever list holds it.
+func (w *wheelSched) unlink(ev *event) {
+	if ev.idx == idxReady {
+		if ev.prev == nil {
+			w.rdHead = ev.next
+		} else {
+			ev.prev.next = ev.next
+		}
+		if ev.next == nil {
+			w.rdTail = ev.prev
+		} else {
+			ev.next.prev = ev.prev
+		}
+	} else {
+		idx := ev.idx
+		if ev.prev == nil {
+			w.head[idx] = ev.next
+		} else {
+			ev.prev.next = ev.next
+		}
+		if ev.next == nil {
+			w.tail[idx] = ev.prev
+		} else {
+			ev.next.prev = ev.prev
+		}
+		if w.head[idx] == nil {
+			w.occ[idx/wheelSlots] &^= 1 << uint(idx&wheelMask)
+		}
+	}
+	ev.prev, ev.next = nil, nil
+	ev.idx = idxNone
+}
+
+func (w *wheelSched) update(ev *event) {
+	w.unlink(ev)
+	w.insert(ev)
+}
+
+func (w *wheelSched) peek(limit units.Time) *event {
+	for {
+		if ev := w.rdHead; ev != nil {
+			if ev.at > limit {
+				return nil
+			}
+			return ev
+		}
+		if w.count == 0 || !w.advance(limit) {
+			return nil
+		}
+	}
+}
+
+// advance moves the wheel one step toward its earliest event: it locates
+// the lowest occupied slot of the lowest occupied level, and — provided
+// that slot starts at or before limit — empties it, re-filing live events
+// one or more levels down (level 0 drains onto the ready list) and pruning
+// dead ones. It reports whether it advanced.
+func (w *wheelSched) advance(limit units.Time) bool {
+	for lvl := 0; lvl < wheelLevels; lvl++ {
+		o := w.occ[lvl]
+		if o == 0 {
+			continue
+		}
+		s := bits.TrailingZeros64(o)
+		shift := uint(lvl) * wheelBits
+		// First tick the slot covers. For the top level shift+wheelBits
+		// exceeds 63 and the Go shift yields 0, clearing cur entirely —
+		// exactly the whole-space window the top level spans.
+		window := uint64(w.cur) &^ (uint64(1)<<(shift+wheelBits) - 1)
+		start := int64(window | uint64(s)<<shift)
+		if units.Time(start) > limit {
+			return false
+		}
+		idx := lvl*wheelSlots + s
+		ev := w.head[idx]
+		w.head[idx], w.tail[idx] = nil, nil
+		w.occ[lvl] &^= 1 << uint(s)
+		if start > w.cur {
+			w.cur = start
+		}
+		for ev != nil {
+			next := ev.next
+			ev.prev, ev.next = nil, nil
+			ev.idx = idxNone
+			if ev.dead() {
+				// Prune cancelled timers at first touch instead of
+				// cascading them to level 0.
+				w.count--
+				w.eng.recycle(ev)
+			} else {
+				w.insert(ev)
+			}
+			ev = next
+		}
+		return true
+	}
+	return false
+}
+
+func (w *wheelSched) pop() *event {
+	ev := w.rdHead
+	if ev == nil {
+		if w.peek(maxTime) == nil {
+			return nil
+		}
+		ev = w.rdHead
+	}
+	w.rdHead = ev.next
+	if ev.next == nil {
+		w.rdTail = nil
+	} else {
+		ev.next.prev = nil
+	}
+	ev.prev, ev.next = nil, nil
+	ev.idx = idxNone
+	w.count--
+	return ev
+}
+
+func (w *wheelSched) drain(f func(*event)) {
+	for ev := w.rdHead; ev != nil; {
+		next := ev.next
+		ev.prev, ev.next = nil, nil
+		ev.idx = idxNone
+		f(ev)
+		ev = next
+	}
+	w.rdHead, w.rdTail = nil, nil
+	for lvl := range w.occ {
+		for o := w.occ[lvl]; o != 0; o &= o - 1 {
+			idx := lvl*wheelSlots + bits.TrailingZeros64(o)
+			for ev := w.head[idx]; ev != nil; {
+				next := ev.next
+				ev.prev, ev.next = nil, nil
+				ev.idx = idxNone
+				f(ev)
+				ev = next
+			}
+			w.head[idx], w.tail[idx] = nil, nil
+		}
+		w.occ[lvl] = 0
+	}
+	w.count = 0
+}
+
+// reset discards anything still held and rewinds the wheel to tick zero.
+// The bucket arrays are fixed-size fields, so a reset engine reuses them
+// as-is — that is the point of Engine.Reset.
+func (w *wheelSched) reset() {
+	w.drain(func(*event) {})
+	w.cur = 0
+}
