@@ -38,12 +38,25 @@ func main() {
 		telemDir = flag.String("telemetry", "", "directory for the run's telemetry bundle (JSONL + CSV); enables instrument sampling")
 	)
 	flag.Parse()
+	hostProfile, err := core.ParseProfile(*profile)
+	if err != nil {
+		log.Fatalf("magnet: %v", err)
+	}
+	if err := core.ValidateMTU(*mtu); err != nil {
+		log.Fatalf("magnet: %v", err)
+	}
+	if err := core.ValidateTransfer(*count, *payload); err != nil {
+		log.Fatalf("magnet: %v", err)
+	}
+	if *sample == 0 {
+		log.Fatal("magnet: -sample must be at least 1")
+	}
 
 	tun := core.Optimized(*mtu)
 	if *stock {
 		tun = core.Stock(*mtu)
 	}
-	pair, err := core.BackToBack(*seed, core.Profile(*profile), tun)
+	pair, err := core.BackToBack(*seed, hostProfile, tun)
 	if err != nil {
 		log.Fatalf("magnet: %v", err)
 	}

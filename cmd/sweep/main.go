@@ -20,6 +20,8 @@
 //	sweep -full ...       # paper-resolution payload grid (slower)
 //	sweep -json ...       # also write BENCH_sweep.json (figure id, points, peak, wall)
 //	sweep -telemetry DIR  # export per-point instrument bundles (JSONL + CSV) into DIR
+//	sweep -chaos 500      # randomized fault-injection soak with the invariant auditor
+//	sweep -replay F.json  # replay a crash bundle and report reproduction
 package main
 
 import (
@@ -54,6 +56,8 @@ var (
 	verify   = flag.Bool("verify-determinism", false, "run a sampled sweep subset twice — serial and parallel — and diff the result rows")
 	jsonOut  = flag.Bool("json", false, "write BENCH_sweep.json: per-sweep figure id, points, peak, wall time")
 	telemDir = flag.String("telemetry", "", "directory for per-run telemetry bundles (JSONL + CSV); enables instrument sampling on every sweep point")
+	chaos    = flag.Int("chaos", 0, "run N randomized fault-injection campaigns with the invariant auditor attached; non-zero exit on any violation")
+	replay   = flag.String("replay", "", "replay a crash-bundle JSON written by a contained sweep/chaos failure and report whether it reproduces")
 	cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProf  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	sched    = flag.String("sched", sim.DefaultScheduler().String(), "event scheduler: wheel (O(1) timing wheel) or heap (reference binary heap); results are byte-identical either way")
@@ -85,6 +89,14 @@ func main() {
 		verifyDeterminism()
 		return
 	}
+	if *replay != "" {
+		replayBundle(*replay)
+		return
+	}
+	if *chaos != 0 {
+		runChaos(*chaos)
+		return
+	}
 	ran := false
 	run := func(cond bool, figureID string, f func()) {
 		if cond || *all {
@@ -112,6 +124,61 @@ func main() {
 	}
 	if *jsonOut {
 		writeBench()
+	}
+}
+
+// runChaos soaks the simulator in n randomized fault campaigns — scripted
+// bursty loss, corruption, duplication, reordering, delay, and carrier
+// flaps — with the runtime invariant auditor attached to every run. Any
+// invariant violation or uncontained failure exits non-zero.
+func runChaos(n int) {
+	if n < 0 {
+		log.Fatalf("sweep: -chaos %d must be positive", n)
+	}
+	start := time.Now()
+	rep, err := core.RunChaos(core.ChaosConfig{
+		Seed: *seed, Campaigns: n, Workers: workers(),
+	})
+	if err != nil {
+		log.Fatalf("chaos: %v", err)
+	}
+	fmt.Printf("chaos: %d campaigns in %v: %d completed, %d budget stops, %d failures, %d invariant violations\n",
+		rep.Campaigns, time.Since(start).Round(time.Millisecond),
+		rep.Completed, rep.BudgetHits, len(rep.Failures), len(rep.Violations))
+	for _, f := range rep.Failures {
+		fmt.Printf("  FAILURE   %s\n", f)
+	}
+	for _, v := range rep.Violations {
+		fmt.Printf("  VIOLATION %s\n", v)
+	}
+	if !rep.Ok() {
+		os.Exit(1)
+	}
+	fmt.Println("all invariants held: pool balances exact, byte streams intact, no stalls")
+}
+
+// replayBundle re-executes a crash bundle and reports reproduction. Exits
+// non-zero when the recorded failure is still present.
+func replayBundle(path string) {
+	b, err := core.ReadCrashBundle(path)
+	if err != nil {
+		log.Fatalf("replay: %v", err)
+	}
+	fmt.Printf("replaying %s bundle (seed %d, scheduler %s)\n", b.Kind, b.Seed, b.Scheduler)
+	fmt.Printf("recorded panic: %s\n", b.Panic)
+	r := b.Replay(nil)
+	switch {
+	case r.Reproduced:
+		fmt.Println("REPRODUCED: the replay panicked with the recorded value")
+		os.Exit(1)
+	case r.Panic != "":
+		fmt.Printf("DIVERGED: the replay panicked differently: %s\n", r.Panic)
+		os.Exit(1)
+	case r.Err != nil:
+		fmt.Printf("replay failed structurally: %v\n", r.Err)
+		os.Exit(1)
+	default:
+		fmt.Println("clean: the recorded failure no longer reproduces")
 	}
 }
 

@@ -55,6 +55,19 @@ func main() {
 		log.Fatalf("tcpprobe: %v", err)
 	}
 	sim.SetDefaultScheduler(kind)
+	hostProfile, err := core.ParseProfile(*profile)
+	if err != nil {
+		log.Fatalf("tcpprobe: %v", err)
+	}
+	if err := core.ValidateMTU(*mtu); err != nil {
+		log.Fatalf("tcpprobe: %v", err)
+	}
+	if err := core.ValidateTransfer(*count, *payload); err != nil {
+		log.Fatalf("tcpprobe: %v", err)
+	}
+	if *loss < 0 || *loss > 1 {
+		log.Fatalf("tcpprobe: -loss %v outside [0,1]", *loss)
+	}
 	stopProfiles := prof.Start(*cpuProf, *memProf)
 	defer stopProfiles()
 
@@ -64,7 +77,7 @@ func main() {
 	}
 	cfg := core.ProbeConfig{
 		Seed:    *seed,
-		Profile: core.Profile(*profile),
+		Profile: hostProfile,
 		Tuning:  tun,
 		Count:   *count,
 		Payload: *payload,

@@ -1,0 +1,237 @@
+// Package audit is the runtime invariant auditor: attached to a simulation
+// it proves, while the run executes and again at teardown, that the
+// simulation's own bookkeeping never went wrong — pool leak accounting
+// (every packet and segment drawn is released exactly once), TCP sanity
+// (snd_una ≤ snd_nxt, cwnd > 0, sequence-space monotonicity), end-to-end
+// stream integrity (every byte offset delivered exactly once, in order, and
+// the totals match the sender), and an engine liveness watchdog that turns a
+// silently stalled simulation into a structured failure.
+//
+// Attachment is strictly opt-in: an un-audited run carries no auditor state
+// and executes the identical event sequence, so golden digests and the
+// zero-alloc guards are unaffected by this package being compiled in.
+package audit
+
+import (
+	"fmt"
+
+	"tengig/internal/host"
+	"tengig/internal/netem"
+	"tengig/internal/sim"
+	"tengig/internal/tcp"
+	"tengig/internal/units"
+)
+
+// Violation is one broken invariant, timestamped in simulated time.
+type Violation struct {
+	At     units.Time `json:"at"`
+	Rule   string     `json:"rule"`  // "pool-leak", "tcp-invariant", "stream-integrity", "liveness", "monotonicity"
+	Where  string     `json:"where"` // host/connection/stream name
+	Detail string     `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("t=%v %s @%s: %s", v.At, v.Rule, v.Where, v.Detail)
+}
+
+// maxViolations bounds the recorded list; a systemic breakage repeats every
+// sample and would otherwise grow without bound. Overflow is still counted.
+const maxViolations = 100
+
+// stream tracks one direction of transfer for end-to-end integrity.
+type stream struct {
+	name     string
+	src, dst *tcp.Conn
+	next     int64 // next expected in-order stream offset at the receiver
+}
+
+// connWatch tracks monotonicity snapshots between samples.
+type connWatch struct {
+	c                      *tcp.Conn
+	sndUna, sndNxt, rcvNxt int64
+}
+
+// hostWatch names a host for pool-leak reports.
+type hostWatch struct {
+	name string
+	h    *host.Host
+}
+
+// Auditor accumulates watched components and violations for one run. Create
+// one per run (or Reset between runs); it is bound to a single engine.
+type Auditor struct {
+	eng      *sim.Engine
+	hosts    []hostWatch
+	conns    []connWatch
+	streams  []*stream
+	netems   []*netem.Impair
+	tmr      sim.Timer
+	interval units.Time
+	sampleCb func(any)
+
+	violations []Violation
+	overflow   int
+}
+
+// New returns an auditor bound to eng.
+func New(eng *sim.Engine) *Auditor {
+	a := &Auditor{eng: eng}
+	a.sampleCb = func(any) { a.onSample() }
+	return a
+}
+
+// WatchHost registers a host's packet and segment pools for leak auditing at
+// Finish.
+func (a *Auditor) WatchHost(name string, h *host.Host) {
+	a.hosts = append(a.hosts, hostWatch{name: name, h: h})
+}
+
+// WatchConn registers a connection for periodic invariant checks and
+// sequence-number monotonicity tracking.
+func (a *Auditor) WatchConn(c *tcp.Conn) {
+	a.conns = append(a.conns, connWatch{c: c,
+		sndUna: c.SndUna(), sndNxt: c.SndNxt(), rcvNxt: c.RcvNxt()})
+}
+
+// WatchStream registers one transfer direction for end-to-end integrity: the
+// receiver's in-order deliveries must tile [0, total) contiguously and the
+// total must equal what the sender's application wrote. Installs dst's
+// deliver hook.
+func (a *Auditor) WatchStream(name string, src, dst *tcp.Conn) {
+	st := &stream{name: name, src: src, dst: dst}
+	a.streams = append(a.streams, st)
+	dst.SetDeliverHook(func(from, to int64) {
+		if from != st.next {
+			a.report("stream-integrity", st.name, fmt.Sprintf(
+				"in-order delivery [%d,%d) but next expected offset is %d", from, to, st.next))
+		}
+		if to <= from {
+			a.report("stream-integrity", st.name, fmt.Sprintf(
+				"empty or inverted delivery [%d,%d)", from, to))
+		}
+		if to > st.next {
+			st.next = to
+		}
+	})
+}
+
+// WatchNetem registers an impairment stage; Finish shuts it down so packets
+// held in deferred flight are reclaimed before pool balances are audited.
+func (a *Auditor) WatchNetem(im *netem.Impair) {
+	a.netems = append(a.netems, im)
+}
+
+// Start arms periodic invariant sampling every interval of simulated time.
+// Stop (or Finish) cancels it; a run that never calls Start is audited only
+// at Finish.
+func (a *Auditor) Start(interval units.Time) {
+	if interval <= 0 {
+		panic("audit: non-positive sample interval")
+	}
+	a.interval = interval
+	a.tmr = a.eng.AfterCall(interval, a.sampleCb, nil)
+}
+
+// Stop cancels periodic sampling (so the auditor's own timer does not hold
+// the event queue open while the harness drains the run).
+func (a *Auditor) Stop() { a.tmr.Stop() }
+
+// onSample runs the per-connection checks and re-arms.
+func (a *Auditor) onSample() {
+	a.checkConns()
+	a.tmr = a.eng.AfterCall(a.interval, a.sampleCb, nil)
+}
+
+// checkConns sweeps TCP invariants and monotonicity on every watched
+// connection.
+func (a *Auditor) checkConns() {
+	for i := range a.conns {
+		w := &a.conns[i]
+		for _, msg := range w.c.CheckInvariants() {
+			a.report("tcp-invariant", w.c.Name(), msg)
+		}
+		if u := w.c.SndUna(); u < w.sndUna {
+			a.report("monotonicity", w.c.Name(),
+				fmt.Sprintf("snd_una retreated %d -> %d", w.sndUna, u))
+		} else {
+			w.sndUna = u
+		}
+		if n := w.c.SndNxt(); n < w.sndNxt {
+			a.report("monotonicity", w.c.Name(),
+				fmt.Sprintf("snd_nxt retreated %d -> %d", w.sndNxt, n))
+		} else {
+			w.sndNxt = n
+		}
+		if r := w.c.RcvNxt(); r < w.rcvNxt {
+			a.report("monotonicity", w.c.Name(),
+				fmt.Sprintf("rcv_nxt retreated %d -> %d", w.rcvNxt, r))
+		} else {
+			w.rcvNxt = r
+		}
+	}
+}
+
+// Finish runs the end-of-run audit. completed reports whether the harness
+// saw the workload finish (transfer done and event queue drained); pool
+// balances and stream totals are only provable on completed runs, while
+// connection invariants must hold regardless. Finish stops sampling and
+// shuts down watched netem stages, so it must run after the harness has
+// drained the engine.
+func (a *Auditor) Finish(completed bool) []Violation {
+	a.Stop()
+	a.checkConns()
+	for _, im := range a.netems {
+		im.Shutdown()
+	}
+	if completed {
+		for _, hw := range a.hosts {
+			if n := hw.h.PacketPool().Outstanding(); n != 0 {
+				a.report("pool-leak", hw.name, fmt.Sprintf(
+					"%d packets drawn but never released (gets=%d puts=%d)",
+					n, hw.h.PacketPool().Gets(), hw.h.PacketPool().Puts()))
+			}
+			if n := hw.h.SegmentPool().Outstanding(); n != 0 {
+				a.report("pool-leak", hw.name, fmt.Sprintf(
+					"%d segments drawn but never recycled (gets=%d puts=%d)",
+					n, hw.h.SegmentPool().Gets(), hw.h.SegmentPool().Puts()))
+			}
+		}
+		for _, st := range a.streams {
+			// Byte-stream integrity: the deliver hook proved contiguity per
+			// delivery; the totals close the proof. EOF delivery is NOT
+			// asserted — FIN consumes no sequence space in this model, so a
+			// FIN lost to impairment is legitimately never retransmitted.
+			if wrote := st.src.AppWritten(); st.next != wrote {
+				a.report("stream-integrity", st.name, fmt.Sprintf(
+					"receiver assembled [0,%d) but sender wrote %d bytes", st.next, wrote))
+			}
+			if got := st.dst.RcvNxt(); got != st.next {
+				a.report("stream-integrity", st.name, fmt.Sprintf(
+					"receiver rcv_nxt = %d disagrees with delivered span [0,%d)", got, st.next))
+			}
+		}
+	} else if a.eng.Pending() == 0 && !a.eng.EventBudgetExceeded() {
+		// The queue drained with the workload unfinished: a silent deadlock,
+		// not a timeout. Budget-stopped runs are the runner's structured
+		// failure, not an invariant violation.
+		a.report("liveness", "engine",
+			"no pending events but the workload did not complete (simulation stalled)")
+	}
+	return a.violations
+}
+
+// Violations returns everything recorded so far.
+func (a *Auditor) Violations() []Violation { return a.violations }
+
+// Overflow returns violations dropped beyond the recording cap.
+func (a *Auditor) Overflow() int { return a.overflow }
+
+func (a *Auditor) report(rule, where, detail string) {
+	if len(a.violations) >= maxViolations {
+		a.overflow++
+		return
+	}
+	a.violations = append(a.violations, Violation{
+		At: a.eng.Now(), Rule: rule, Where: where, Detail: detail,
+	})
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -39,6 +40,20 @@ type SweepConfig struct {
 	// exports are byte-identical between serial and parallel runs because
 	// each point's recorder lives entirely inside that point's simulation.
 	Telemetry telemetry.Options
+	// SkipFailures contains per-point failures: a panicking or erroring
+	// point is recorded on its Point (and excluded from the series) instead
+	// of aborting the sweep, so one bad point never kills the run.
+	SkipFailures bool
+	// Retries re-runs a failing point up to this many extra times before
+	// its failure stands (SkipFailures mode only).
+	Retries int
+	// CrashDir, when set, writes a replayable crash-bundle JSON for every
+	// point whose failure was a contained panic (SkipFailures mode only).
+	CrashDir string
+	// PointHook, when set, runs before each point's testbed is built. It is
+	// the fault-injection port for the crash-containment tests (a hook that
+	// panics at a chosen payload) and is re-armed identically on replay.
+	PointHook func(payload int)
 }
 
 // DefaultPayloads returns the sweep grid: log-spaced across 128 B – 16 KB
@@ -62,6 +77,12 @@ type Point struct {
 	// Telemetry is the point's instrument bundle when SweepConfig.Telemetry
 	// was enabled, nil otherwise.
 	Telemetry *telemetry.Bundle
+	// Err is the point's contained failure under SkipFailures (nil = ok).
+	// Failed points carry no measurement and are excluded from the series.
+	Err error
+	// CrashBundle is the path of the replayable crash record written for a
+	// contained panic (SkipFailures with CrashDir set).
+	CrashBundle string
 }
 
 // SweepResult is a labeled series plus its raw points.
@@ -101,30 +122,60 @@ func (c SweepConfig) Run() (*SweepResult, error) {
 	if c.Timeout == 0 {
 		c.Timeout = 30 * units.Second
 	}
-	pts, walls, err := runner.MapTimedWith(newWorkerEngine, c.Payloads, NormalizeWorkers(c.Workers),
-		func(eng *sim.Engine, _ int, payload int) (Point, error) {
-			eng.Reset(c.Seed)
-			pair, err := c.newPairOn(eng)
-			if err != nil {
-				return Point{}, err
+	runPoint := func(eng *sim.Engine, _ int, payload int) (Point, error) {
+		eng.Reset(c.Seed)
+		if c.PointHook != nil {
+			c.PointHook(payload)
+		}
+		pair, err := c.newPairOn(eng)
+		if err != nil {
+			return Point{}, err
+		}
+		pt := Point{Payload: payload}
+		if c.Telemetry.Enabled {
+			name := fmt.Sprintf("%s_p%d", SanitizeName(c.Tuning.Label()), payload)
+			pt.Telemetry = AttachTelemetry(pair, name, c.Seed, c.Telemetry)
+		}
+		r, err := tools.NTTCP(pair, c.Count, payload, c.Timeout)
+		if err != nil {
+			return Point{}, fmt.Errorf("payload %d: %w", payload, err)
+		}
+		pt.ThroughputResult = r
+		if pt.Telemetry != nil {
+			CapturePairEngine(pt.Telemetry, pair)
+		}
+		return pt, nil
+	}
+	var (
+		pts   []Point
+		walls []time.Duration
+	)
+	if c.SkipFailures {
+		var errs []error
+		pts, walls, errs = runner.MapTimedAll(newWorkerEngine, c.Payloads,
+			NormalizeWorkers(c.Workers), c.Retries, runPoint)
+		for i, err := range errs {
+			if err == nil {
+				continue
 			}
-			pt := Point{Payload: payload}
-			if c.Telemetry.Enabled {
-				name := fmt.Sprintf("%s_p%d", SanitizeName(c.Tuning.Label()), payload)
-				pt.Telemetry = AttachTelemetry(pair, name, c.Seed, c.Telemetry)
+			pts[i] = Point{Payload: c.Payloads[i], Err: err}
+			var pe *runner.PanicError
+			if c.CrashDir != "" && errors.As(err, &pe) {
+				path, werr := c.writeCrashBundle(c.Payloads[i], pe)
+				if werr != nil {
+					pts[i].Err = fmt.Errorf("%w (crash bundle not written: %v)", err, werr)
+				} else {
+					pts[i].CrashBundle = path
+				}
 			}
-			r, err := tools.NTTCP(pair, c.Count, payload, c.Timeout)
-			if err != nil {
-				return Point{}, fmt.Errorf("payload %d: %w", payload, err)
-			}
-			pt.ThroughputResult = r
-			if pt.Telemetry != nil {
-				CapturePairEngine(pt.Telemetry, pair)
-			}
-			return pt, nil
-		})
-	if err != nil {
-		return nil, err
+		}
+	} else {
+		var err error
+		pts, walls, err = runner.MapTimedWith(newWorkerEngine, c.Payloads,
+			NormalizeWorkers(c.Workers), runPoint)
+		if err != nil {
+			return nil, err
+		}
 	}
 	for i := range pts {
 		pts[i].Wall = walls[i]
@@ -135,9 +186,32 @@ func (c SweepConfig) Run() (*SweepResult, error) {
 	res := &SweepResult{Label: c.Tuning.Label(), Points: pts}
 	res.Series.Name = res.Label
 	for _, pt := range pts {
+		if pt.Err != nil {
+			continue
+		}
 		res.Series.Add(float64(pt.Payload), pt.Throughput.Gbps())
 	}
 	return res, nil
+}
+
+// writeCrashBundle records a contained point panic as a replayable bundle.
+func (c SweepConfig) writeCrashBundle(payload int, pe *runner.PanicError) (string, error) {
+	t := c.Tuning
+	b := &CrashBundle{
+		Kind:      "sweep-point",
+		Seed:      c.Seed,
+		Profile:   c.Profile,
+		Tuning:    &t,
+		Payload:   payload,
+		Count:     c.Count,
+		ViaSwitch: c.ViaSwitch,
+		Timeout:   c.Timeout,
+		Scheduler: sim.DefaultScheduler().String(),
+		Panic:     fmt.Sprint(pe.Value),
+		Stack:     string(pe.Stack),
+	}
+	name := fmt.Sprintf("crash_%s_p%d", c.Tuning.Label(), payload)
+	return WriteCrashBundle(c.CrashDir, name, b)
 }
 
 // NormalizeWorkers maps the experiment-level worker convention (0 or 1 =

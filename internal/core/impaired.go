@@ -39,7 +39,14 @@ type Impairments struct {
 // the crossover cable. The returned Impair handles expose live drop
 // counters and can be reconfigured mid-run.
 func BackToBackImpaired(seed int64, p Profile, t Tuning, imp Impairments) (*tools.Pair, *netem.Impair, *netem.Impair, error) {
-	eng := sim.NewEngine(seed)
+	return BackToBackImpairedOn(sim.NewEngine(seed), seed, p, t, imp)
+}
+
+// BackToBackImpairedOn is BackToBackImpaired on a caller-provided engine
+// (reset to the run's seed), so sweep workers and the chaos harness can
+// reuse warmed engines across impaired runs. seed still parameterizes the
+// two netem rng streams, exactly as BackToBackImpaired seeds them.
+func BackToBackImpairedOn(eng *sim.Engine, seed int64, p Profile, t Tuning, imp Impairments) (*tools.Pair, *netem.Impair, *netem.Impair, error) {
 	a := buildHost(eng, p, t, "send", 1)
 	b := buildHost(eng, p, t, "recv", 2)
 	link := phys.NewLink(eng, "crossover", 10*units.GbitPerSecond, crossoverProp, phys.EthernetFraming{})

@@ -19,10 +19,11 @@ import (
 
 // Stats counts host-level events.
 type Stats struct {
-	QdiscDrops  int64 // packets dropped at the transmit queue
-	NoSockDrops int64 // packets with no matching connection
-	UDPReceived int64
-	UDPBytes    int64
+	QdiscDrops    int64 // packets dropped at the transmit queue
+	NoSockDrops   int64 // packets with no matching connection
+	ChecksumDrops int64 // corrupt packets discarded by checksum verification
+	UDPReceived   int64
+	UDPBytes      int64
 }
 
 // NICPort is one adapter installed in the host with its dedicated PCI bus
@@ -437,6 +438,14 @@ func (h *Host) deliverTCP(pk *packet.Packet) {
 	h.tracer.Hit(pk.ID, trace.StageTCPIn, h.eng.Now())
 	h.tracer.Finish(pk.ID)
 	h.tap.Observe(capture.In, pk, h.eng.Now())
+	if pk.Corrupt {
+		// Checksum verification: a payload damaged in flight (netem
+		// corruption) fails the TCP checksum and never reaches the
+		// connection — the sender's retransmission machinery recovers it.
+		h.Stats.ChecksumDrops++
+		pk.Release()
+		return
+	}
 	s, ok := h.socks[pk.FlowID]
 	if !ok {
 		h.Stats.NoSockDrops++
@@ -450,6 +459,11 @@ func (h *Host) deliverTCP(pk *packet.Packet) {
 // deliverUDP hands a UDP packet to the registered sink and releases it
 // (pktgen packets are unpooled, for which Release is a no-op).
 func (h *Host) deliverUDP(pk *packet.Packet) {
+	if pk.Corrupt {
+		h.Stats.ChecksumDrops++
+		pk.Release()
+		return
+	}
 	h.Stats.UDPReceived++
 	h.Stats.UDPBytes += int64(pk.Payload)
 	if h.udpSink != nil {
@@ -460,3 +474,10 @@ func (h *Host) deliverUDP(pk *packet.Packet) {
 
 // CPUBusy returns the accumulated busy time of CPU i (diagnostics).
 func (h *Host) CPUBusy(i int) units.Time { return h.cpus[i].BusyTime() }
+
+// PacketPool exposes the host's packet free list so the invariant auditor
+// can verify every drawn packet was released exactly once.
+func (h *Host) PacketPool() *packet.Pool { return h.pktPool }
+
+// SegmentPool exposes the host's segment free list for the same audit.
+func (h *Host) SegmentPool() *tcp.SegmentPool { return h.segPool }

@@ -1,6 +1,11 @@
-// Package netem injects network impairments — loss, extra delay,
-// reordering — between a link and its receiver, for failure testing and for
-// the WAN loss experiments. It wraps any phys.Receiver.
+// Package netem injects network impairments between a link and its receiver,
+// for failure testing and for the WAN loss experiments. It wraps any
+// phys.Receiver and models the fault classes a long-haul path actually
+// exhibits: independent and bursty (Gilbert-Elliott) loss, duplication,
+// payload corruption, extra delay, reordering, and carrier flaps — plus
+// time-scheduled fault scripts (script.go) that compose them per link. All
+// randomness comes from a per-Impair seeded source, so every campaign is
+// reproducible from its seed.
 package netem
 
 import (
@@ -9,10 +14,36 @@ import (
 	"tengig/internal/packet"
 	"tengig/internal/phys"
 	"tengig/internal/sim"
+	"tengig/internal/tcp"
 	"tengig/internal/units"
 )
 
-// Impair wraps a receiver with loss, delay, and reordering.
+// GEConfig parameterizes a Gilbert-Elliott two-state Markov loss model: the
+// link moves between a good and a bad state with the given per-packet
+// transition probabilities, and drops each packet with the loss probability
+// of the state it is in. Short PBadGood dwell times with high LossBad produce
+// the correlated loss bursts that independent Bernoulli loss cannot express.
+type GEConfig struct {
+	Enabled  bool    `json:"enabled,omitempty"`
+	PGoodBad float64 `json:"p_good_bad,omitempty"` // P(good -> bad) evaluated per packet
+	PBadGood float64 `json:"p_bad_good,omitempty"` // P(bad -> good) evaluated per packet
+	LossGood float64 `json:"loss_good,omitempty"`  // loss probability while in the good state
+	LossBad  float64 `json:"loss_bad,omitempty"`   // loss probability while in the bad state
+}
+
+// delayed tracks one packet deferred by extra delay or reordering. Nodes
+// live on an intrusive doubly-linked pending list so run teardown
+// (Shutdown) can release every in-flight packet, and recycle through a free
+// list so steady-state delay paths allocate nothing.
+type delayed struct {
+	pk         *packet.Packet
+	tmr        sim.Timer
+	next, prev *delayed
+}
+
+// Impair wraps a receiver with a composable set of impairments. The exported
+// knob fields may be set directly at construction or switched wholesale at
+// simulated times via SetFault / Script.
 type Impair struct {
 	eng *sim.Engine
 	dst phys.Receiver
@@ -20,19 +51,36 @@ type Impair struct {
 
 	// LossProb drops each packet independently with this probability.
 	LossProb float64
+	// GE overlays Gilbert-Elliott bursty loss (evaluated after DropNth,
+	// before LossProb).
+	GE GEConfig
 	// DropNth drops exactly the nth packet (1-based) once; 0 disables.
 	// Used to inject the single loss of the paper's Table 1 analysis.
 	DropNth int64
 	// DropFn, if set, decides per packet (after DropNth and LossProb).
 	DropFn func(n int64, pk *packet.Packet) bool
+	// CorruptProb flips the packet's Corrupt flag with this probability;
+	// the receiving host's checksum verification discards it.
+	CorruptProb float64
+	// DupProb delivers an extra copy of the packet with this probability.
+	DupProb float64
 	// ExtraDelay is added to every delivered packet.
 	ExtraDelay units.Time
 	// ReorderProb delays a packet by ReorderDelay, letting successors pass.
 	ReorderProb  float64
 	ReorderDelay units.Time
 
-	seen    int64
-	dropped int64
+	geBad    bool // current Gilbert-Elliott state
+	linkDown bool // carrier lost: everything is dropped
+
+	seen        int64
+	dropped     int64
+	corrupted   int64
+	duplicated  int64
+	flapDropped int64
+
+	pending *delayed // packets deferred but not yet delivered
+	freeD   *delayed // recycled delayed nodes
 
 	deliverCb func(any) // bound once for delayed deliveries
 }
@@ -40,41 +88,191 @@ type Impair struct {
 // New wraps dst. The rng seed keeps runs reproducible.
 func New(eng *sim.Engine, dst phys.Receiver, seed int64) *Impair {
 	im := &Impair{eng: eng, dst: dst, rng: rand.New(rand.NewSource(seed))}
-	im.deliverCb = func(x any) { im.dst.Receive(x.(*packet.Packet)) }
+	im.deliverCb = func(x any) { im.deliverDelayed(x.(*delayed)) }
 	return im
 }
 
 // Seen returns packets observed.
 func (im *Impair) Seen() int64 { return im.seen }
 
-// Dropped returns packets dropped.
+// Dropped returns packets dropped for any reason (including carrier flaps).
 func (im *Impair) Dropped() int64 { return im.dropped }
 
+// Corrupted returns packets marked corrupt.
+func (im *Impair) Corrupted() int64 { return im.corrupted }
+
+// Duplicated returns extra copies injected.
+func (im *Impair) Duplicated() int64 { return im.duplicated }
+
+// FlapDropped returns packets dropped because the carrier was down.
+func (im *Impair) FlapDropped() int64 { return im.flapDropped }
+
+// PendingDelayed returns packets currently held by delay/reorder deferral.
+func (im *Impair) PendingDelayed() int {
+	n := 0
+	for d := im.pending; d != nil; d = d.next {
+		n++
+	}
+	return n
+}
+
+// SetLinkDown raises or clears a carrier flap: while down, every packet is
+// dropped (and counted in FlapDropped), exactly as a dead transceiver would.
+func (im *Impair) SetLinkDown(down bool) { im.linkDown = down }
+
+// LinkDown reports whether the carrier is currently down.
+func (im *Impair) LinkDown() bool { return im.linkDown }
+
 // Receive implements phys.Receiver.
+//
+// Impairments draw from the rng only when their knob is enabled, in a fixed
+// order (GE transition+loss, LossProb, CorruptProb, ReorderProb, DupProb), so
+// enabling a new fault class never perturbs the draw sequence — and thus the
+// simulated outcome — of a configuration that does not use it.
 func (im *Impair) Receive(pk *packet.Packet) {
 	im.seen++
 	n := im.seen
-	switch {
-	case im.DropNth > 0 && n == im.DropNth:
+	if im.linkDown {
+		im.flapDropped++
 		im.dropped++
 		pk.Release()
 		return
-	case im.LossProb > 0 && im.rng.Float64() < im.LossProb:
+	}
+	if im.DropNth > 0 && n == im.DropNth {
 		im.dropped++
 		pk.Release()
 		return
-	case im.DropFn != nil && im.DropFn(n, pk):
+	}
+	if im.GE.Enabled && im.geLoss() {
 		im.dropped++
 		pk.Release()
 		return
+	}
+	if im.LossProb > 0 && im.rng.Float64() < im.LossProb {
+		im.dropped++
+		pk.Release()
+		return
+	}
+	if im.DropFn != nil && im.DropFn(n, pk) {
+		im.dropped++
+		pk.Release()
+		return
+	}
+	if im.CorruptProb > 0 && im.rng.Float64() < im.CorruptProb {
+		pk.Corrupt = true
+		im.corrupted++
 	}
 	delay := im.ExtraDelay
 	if im.ReorderProb > 0 && im.rng.Float64() < im.ReorderProb {
 		delay += im.ReorderDelay
 	}
+	if im.DupProb > 0 && im.rng.Float64() < im.DupProb {
+		im.duplicated++
+		im.send(clonePacket(pk), delay)
+	}
+	im.send(pk, delay)
+}
+
+// geLoss advances the Gilbert-Elliott state machine by one packet and
+// reports whether that packet is lost.
+func (im *Impair) geLoss() bool {
+	if im.geBad {
+		if im.rng.Float64() < im.GE.PBadGood {
+			im.geBad = false
+		}
+	} else {
+		if im.rng.Float64() < im.GE.PGoodBad {
+			im.geBad = true
+		}
+	}
+	p := im.GE.LossGood
+	if im.geBad {
+		p = im.GE.LossBad
+	}
+	return p > 0 && im.rng.Float64() < p
+}
+
+// send delivers pk now (delay 0) or defers it, tracking the deferral so
+// Shutdown can reclaim it.
+func (im *Impair) send(pk *packet.Packet, delay units.Time) {
 	if delay == 0 {
 		im.dst.Receive(pk)
 		return
 	}
-	im.eng.AfterCall(delay, im.deliverCb, pk)
+	d := im.freeD
+	if d != nil {
+		im.freeD = d.next
+	} else {
+		d = &delayed{}
+	}
+	d.pk = pk
+	d.prev = nil
+	d.next = im.pending
+	if im.pending != nil {
+		im.pending.prev = d
+	}
+	im.pending = d
+	d.tmr = im.eng.AfterCall(delay, im.deliverCb, d)
+}
+
+// deliverDelayed completes a deferred delivery.
+func (im *Impair) deliverDelayed(d *delayed) {
+	pk := d.pk
+	im.unlink(d)
+	im.dst.Receive(pk)
+}
+
+// unlink removes d from the pending list and recycles the node.
+func (im *Impair) unlink(d *delayed) {
+	if d.prev != nil {
+		d.prev.next = d.next
+	} else {
+		im.pending = d.next
+	}
+	if d.next != nil {
+		d.next.prev = d.prev
+	}
+	d.pk = nil
+	d.prev = nil
+	d.next = im.freeD
+	im.freeD = d
+}
+
+// Shutdown releases every packet still held by delay/reorder deferral and
+// cancels its delivery timer, returning the count reclaimed. Run teardown
+// must call it (once per Impair) before auditing pool balances: a packet
+// in deferred flight when the run ends is owned by netem, and without this
+// hand-back the leak auditor would charge it to the host that allocated it.
+func (im *Impair) Shutdown() int {
+	n := 0
+	for d := im.pending; d != nil; {
+		next := d.next
+		d.tmr.Stop()
+		d.pk.Release()
+		d.pk = nil
+		d.prev = nil
+		d.next = im.freeD
+		im.freeD = d
+		d = next
+		n++
+	}
+	im.pending = nil
+	return n
+}
+
+// clonePacket returns an unpooled deep copy for duplication: the clone's
+// segment (if any) is copied too, because releasing the original recycles
+// its segment into the origin pool while the clone may still be in flight.
+func clonePacket(pk *packet.Packet) *packet.Packet {
+	cp := pk.CloneUnpooled()
+	if seg, ok := pk.Seg.(*tcp.Segment); ok && seg != nil {
+		s := *seg
+		if len(seg.SACKBlocks) > 0 {
+			s.SACKBlocks = append([]tcp.SackBlock(nil), seg.SACKBlocks...)
+		} else {
+			s.SACKBlocks = nil
+		}
+		cp.Seg = &s
+	}
+	return cp
 }

@@ -1,0 +1,108 @@
+package netem
+
+import (
+	"fmt"
+	"sort"
+
+	"tengig/internal/sim"
+	"tengig/internal/units"
+)
+
+// Fault is one declarative impairment setting: the full set of
+// script-controllable knobs an Impair exposes, in a plain JSON-serializable
+// struct so fault scripts can ride inside crash bundles and fuzz corpora.
+// DropNth and DropFn are deliberately absent — they are one-shot test
+// instruments, not time-varying link conditions — and SetFault leaves them
+// untouched.
+type Fault struct {
+	LossProb     float64    `json:"loss_prob,omitempty"`
+	GE           GEConfig   `json:"ge,omitempty"`
+	CorruptProb  float64    `json:"corrupt_prob,omitempty"`
+	DupProb      float64    `json:"dup_prob,omitempty"`
+	ExtraDelay   units.Time `json:"extra_delay,omitempty"`
+	ReorderProb  float64    `json:"reorder_prob,omitempty"`
+	ReorderDelay units.Time `json:"reorder_delay,omitempty"`
+	LinkDown     bool       `json:"link_down,omitempty"`
+}
+
+// Step switches the link to Fault at simulated time At.
+type Step struct {
+	At    units.Time `json:"at"`
+	Fault Fault      `json:"fault"`
+}
+
+// Script is a time-ordered fault schedule for one link. The zero value is an
+// empty script (no impairment changes).
+type Script []Step
+
+// Validate rejects scripts no link could exhibit: probabilities outside
+// [0, 1], negative delays, or negative step times.
+func (s Script) Validate() error {
+	for i, st := range s {
+		if st.At < 0 {
+			return fmt.Errorf("netem: step %d: negative time %v", i, st.At)
+		}
+		f := st.Fault
+		for _, p := range []struct {
+			name string
+			v    float64
+		}{
+			{"loss_prob", f.LossProb},
+			{"corrupt_prob", f.CorruptProb},
+			{"dup_prob", f.DupProb},
+			{"reorder_prob", f.ReorderProb},
+			{"ge.p_good_bad", f.GE.PGoodBad},
+			{"ge.p_bad_good", f.GE.PBadGood},
+			{"ge.loss_good", f.GE.LossGood},
+			{"ge.loss_bad", f.GE.LossBad},
+		} {
+			if p.v < 0 || p.v > 1 {
+				return fmt.Errorf("netem: step %d: %s = %v outside [0,1]", i, p.name, p.v)
+			}
+		}
+		if f.ExtraDelay < 0 || f.ReorderDelay < 0 {
+			return fmt.Errorf("netem: step %d: negative delay", i)
+		}
+	}
+	return nil
+}
+
+// SetFault switches every script-controllable knob to f at once. One-shot
+// instruments (DropNth, DropFn) and the Gilbert-Elliott state survive, so a
+// script step that re-enables GE resumes the burst process rather than
+// restarting it.
+func (im *Impair) SetFault(f Fault) {
+	im.LossProb = f.LossProb
+	im.GE = f.GE
+	im.CorruptProb = f.CorruptProb
+	im.DupProb = f.DupProb
+	im.ExtraDelay = f.ExtraDelay
+	im.ReorderProb = f.ReorderProb
+	im.ReorderDelay = f.ReorderDelay
+	im.linkDown = f.LinkDown
+}
+
+// Apply schedules the script's fault switches on eng. Steps are applied in
+// time order regardless of slice order; steps at or before the current
+// simulated time are applied immediately, last one winning. Apply panics on
+// an invalid script — validate untrusted scripts first.
+func (s Script) Apply(eng *sim.Engine, im *Impair) {
+	if err := s.Validate(); err != nil {
+		panic(err.Error())
+	}
+	if len(s) == 0 {
+		return
+	}
+	ordered := make([]Step, len(s))
+	copy(ordered, s)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].At < ordered[j].At })
+	now := eng.Now()
+	for _, st := range ordered {
+		if st.At <= now {
+			im.SetFault(st.Fault)
+			continue
+		}
+		f := st.Fault
+		eng.Schedule(st.At, func() { im.SetFault(f) })
+	}
+}

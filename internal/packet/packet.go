@@ -57,6 +57,12 @@ type Packet struct {
 	// Hops counts store-and-forward elements traversed (diagnostics).
 	Hops int
 
+	// Corrupt marks a payload damaged in flight (netem fault injection).
+	// The receiving host's checksum verification drops corrupt packets
+	// before they reach the transport layer, exactly as a bad TCP checksum
+	// would.
+	Corrupt bool
+
 	// pool is the free list this packet came from (nil for plain
 	// allocations, e.g. pktgen's UDP packets). Release returns the packet
 	// there, so packets always circulate back to the host that allocated
@@ -73,12 +79,31 @@ func (p *Packet) String() string {
 	return fmt.Sprintf("pkt#%d %s %v->%v len=%d", p.ID, p.Proto, p.Src, p.Dst, p.IPLen())
 }
 
+// CloneUnpooled returns a pool-free copy of the packet: all metadata fields
+// are duplicated but the clone's Release is a no-op, so it can be injected
+// into the simulation (netem duplication) without disturbing the origin
+// pool's leak accounting. Seg is copied shallowly — callers that outlive the
+// original packet must deep-copy the segment themselves, because releasing
+// the original recycles its segment.
+func (pk *Packet) CloneUnpooled() *Packet {
+	cp := *pk
+	cp.pool = nil
+	return &cp
+}
+
 // Pool is a free list of Packets scoped to one simulation (single-goroutine
 // by contract, so no locking). Hosts draw transmit packets from their pool
 // and every consumer — delivery, qdisc drop, ring overrun, switch drop-tail,
 // netem fault — calls Release at the point the packet leaves the simulation.
+//
+// The pool keeps get/release tallies so an invariant auditor can prove that
+// every packet drawn during a run was released exactly once (Outstanding
+// returns to zero at quiescence). The counters are two integer increments on
+// paths that already touch the free list, so they cost nothing measurable.
 type Pool struct {
 	free []*Packet
+	gets int64
+	puts int64
 	// ReleaseSeg, when set, recycles pk.Seg as the packet is released. The
 	// hook keeps layering intact: this package cannot name *tcp.Segment,
 	// but the host that owns both pools can.
@@ -88,11 +113,22 @@ type Pool struct {
 // NewPool returns an empty pool.
 func NewPool() *Pool { return &Pool{} }
 
+// Gets returns the number of packets drawn from the pool.
+func (p *Pool) Gets() int64 { return p.gets }
+
+// Puts returns the number of packets released back to the pool.
+func (p *Pool) Puts() int64 { return p.puts }
+
+// Outstanding returns packets drawn but not yet released — zero at
+// quiescence on a leak-free run.
+func (p *Pool) Outstanding() int64 { return p.gets - p.puts }
+
 // Get returns a zeroed packet bound to this pool.
 func (p *Pool) Get() *Packet {
 	if p == nil {
 		return &Packet{}
 	}
+	p.gets++
 	if n := len(p.free); n > 0 {
 		pk := p.free[n-1]
 		p.free = p.free[:n-1]
@@ -112,6 +148,7 @@ func (pk *Packet) Release() {
 		return
 	}
 	p := pk.pool
+	p.puts++
 	if pk.Seg != nil && p.ReleaseSeg != nil {
 		p.ReleaseSeg(pk.Seg)
 	}

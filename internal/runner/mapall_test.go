@@ -1,0 +1,114 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestMapTimedAllContainsFailures: one panicking item and one erroring item
+// leave every other item's result intact, with errors index-aligned.
+func TestMapTimedAllContainsFailures(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4, 5}
+	out, walls, errs := MapTimedAll(func(int) struct{} { return struct{}{} },
+		items, 2, 0, func(_ struct{}, i, item int) (int, error) {
+			switch item {
+			case 2:
+				panic("kaboom")
+			case 4:
+				return 0, errors.New("plain failure")
+			}
+			return item * 10, nil
+		})
+	if len(out) != 6 || len(walls) != 6 || len(errs) != 6 {
+		t.Fatalf("lengths %d/%d/%d", len(out), len(walls), len(errs))
+	}
+	for i, item := range items {
+		switch item {
+		case 2:
+			var pe *PanicError
+			if !errors.As(errs[i], &pe) {
+				t.Fatalf("item 2: want PanicError, got %v", errs[i])
+			}
+			if pe.Index != 2 || fmt.Sprint(pe.Value) != "kaboom" || len(pe.Stack) == 0 {
+				t.Fatalf("panic misrecorded: %+v", pe)
+			}
+			if !strings.Contains(pe.Error(), "kaboom") {
+				t.Fatalf("PanicError.Error() lost the value: %v", pe)
+			}
+		case 4:
+			if errs[i] == nil || errs[i].Error() != "plain failure" {
+				t.Fatalf("item 4: got %v", errs[i])
+			}
+		default:
+			if errs[i] != nil {
+				t.Fatalf("healthy item %d failed: %v", item, errs[i])
+			}
+			if out[i] != item*10 {
+				t.Fatalf("item %d result %d", item, out[i])
+			}
+		}
+	}
+}
+
+// TestMapTimedAllRebuildsStateAfterPanic: a panic poisons the worker's
+// reusable state, so the next item on that worker must see a fresh one —
+// while plain errors keep the state (nothing suggests it is corrupt).
+func TestMapTimedAllRebuildsStateAfterPanic(t *testing.T) {
+	type state struct{ id int }
+	built := 0
+	newState := func(int) *state { built++; return &state{id: built} }
+	var seen []int
+	_, _, errs := MapTimedAll(newState, []int{0, 1, 2, 3}, 1, 0,
+		func(s *state, _ int, item int) (int, error) {
+			seen = append(seen, s.id)
+			if item == 1 {
+				panic("poisoned")
+			}
+			if item == 2 {
+				return 0, errors.New("plain")
+			}
+			return 0, nil
+		})
+	if errs[1] == nil || errs[2] == nil {
+		t.Fatalf("errs = %v", errs)
+	}
+	// Items 0,1 share state 1; the panic on 1 forces a rebuild, so 2,3 share
+	// state 2. The plain error on 2 must NOT force another rebuild.
+	want := []int{1, 1, 2, 2}
+	if built != 2 || fmt.Sprint(seen) != fmt.Sprint(want) {
+		t.Fatalf("states seen %v (built %d), want %v (built 2)", seen, built, want)
+	}
+}
+
+// TestMapTimedAllRetries: a flaky item succeeds within its retry allowance;
+// a deterministic failure exhausts it and the last error stands.
+func TestMapTimedAllRetries(t *testing.T) {
+	var mu sync.Mutex
+	attempts := map[int]int{}
+	out, _, errs := MapTimedAll(func(int) struct{} { return struct{}{} },
+		[]int{0, 1, 2}, 2, 2, func(_ struct{}, _, item int) (int, error) {
+			mu.Lock()
+			attempts[item]++
+			n := attempts[item]
+			mu.Unlock()
+			switch {
+			case item == 1 && n < 3: // succeeds on the 3rd attempt
+				panic(fmt.Sprintf("flaky attempt %d", n))
+			case item == 2: // always fails
+				return 0, fmt.Errorf("hard failure %d", n)
+			}
+			return item + 100, nil
+		})
+	if errs[0] != nil || out[0] != 100 {
+		t.Fatalf("item 0: %v %d", errs[0], out[0])
+	}
+	if errs[1] != nil || out[1] != 101 || attempts[1] != 3 {
+		t.Fatalf("flaky item not healed by retries: err=%v attempts=%d", errs[1], attempts[1])
+	}
+	if errs[2] == nil || attempts[2] != 3 {
+		t.Fatalf("hard failure: err=%v attempts=%d (want 1+2 retries)", errs[2], attempts[2])
+	}
+}

@@ -10,12 +10,29 @@
 package runner
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"time"
 )
+
+// PanicError is a captured run panic: the worker pool converts a crash into
+// this structured error so a sweep can report, skip, or replay the failing
+// point instead of dying. Callers unwrap it with errors.As to reach the
+// original panic value and stack.
+type PanicError struct {
+	Index int    // input index of the failing run
+	Label string // the run's label (Spec.Label or the item's %v form)
+	Value any    // the value passed to panic()
+	Stack []byte // goroutine stack at the recover point
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: run %d (%s) panicked: %v\n%s",
+		e.Index, e.Label, e.Value, e.Stack)
+}
 
 // Spec is one unit of work: a labeled closure that builds, runs, and
 // summarizes a private simulation. The closure must not share mutable
@@ -83,8 +100,8 @@ func Run(specs []Spec, opt Options) []Result {
 		func() {
 			defer func() {
 				if p := recover(); p != nil {
-					r.Err = fmt.Errorf("runner: run %d (%s) panicked: %v\n%s",
-						i, specs[i].Label, p, debug.Stack())
+					r.Err = &PanicError{Index: i, Label: specs[i].Label,
+						Value: p, Stack: debug.Stack()}
 				}
 			}()
 			r.Value, r.Err = specs[i].Run()
@@ -166,15 +183,7 @@ func MapTimedWith[S, T, R any](newState func(worker int) S, items []T, workers i
 			inited[worker] = true
 		}
 		start := time.Now()
-		func() {
-			defer func() {
-				if p := recover(); p != nil {
-					errs[i] = fmt.Errorf("runner: run %d (%v) panicked: %v\n%s",
-						i, items[i], p, debug.Stack())
-				}
-			}()
-			out[i], errs[i] = f(states[worker], i, items[i])
-		}()
+		errs[i] = runGuarded(states[worker], i, items[i], f, out)
 		walls[i] = time.Since(start)
 	})
 	for _, err := range errs {
@@ -183,6 +192,56 @@ func MapTimedWith[S, T, R any](newState func(worker int) S, items []T, workers i
 		}
 	}
 	return out, walls, nil
+}
+
+// runGuarded executes one f call with panic containment, writing the output
+// in place and returning the run's error (a *PanicError for a crash).
+func runGuarded[S, T, R any](state S, i int, item T, f func(state S, i int, item T) (R, error), out []R) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Index: i, Label: fmt.Sprintf("%v", item),
+				Value: p, Stack: debug.Stack()}
+		}
+	}()
+	out[i], err = f(state, i, item)
+	return err
+}
+
+// MapTimedAll is MapTimedWith with failure containment: instead of aborting
+// on the first error it runs every item to completion and returns the errors
+// index-aligned with the outputs, so one bad point never kills a sweep. A
+// failing item is retried up to retries extra times before its error stands;
+// after a captured panic the worker's reusable state is discarded and
+// rebuilt, since a crash mid-run can leave it arbitrarily corrupt.
+func MapTimedAll[S, T, R any](newState func(worker int) S, items []T, workers, retries int, f func(state S, i int, item T) (R, error)) ([]R, []time.Duration, []error) {
+	out := make([]R, len(items))
+	walls := make([]time.Duration, len(items))
+	errs := make([]error, len(items))
+	w := Options{Workers: workers}.workers(len(items))
+	states := make([]S, w)
+	inited := make([]bool, w)
+	fan(len(items), w, func(worker, i int) {
+		start := time.Now()
+		for attempt := 0; ; attempt++ {
+			if !inited[worker] {
+				states[worker] = newState(worker)
+				inited[worker] = true
+			}
+			errs[i] = runGuarded(states[worker], i, items[i], f, out)
+			if errs[i] == nil {
+				break
+			}
+			var pe *PanicError
+			if errors.As(errs[i], &pe) {
+				inited[worker] = false
+			}
+			if attempt >= retries {
+				break
+			}
+		}
+		walls[i] = time.Since(start)
+	})
+	return out, walls, errs
 }
 
 // MapTimed is Map that additionally returns each run's host wall-clock

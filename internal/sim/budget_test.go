@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"testing"
+
+	"tengig/internal/units"
+)
+
+// TestEventBudget: LimitEvents stops Step at exactly the cap, reports the
+// stop, leaves the queue intact, and both Reset and LimitEvents(0) clear it.
+func TestEventBudget(t *testing.T) {
+	eng := NewEngine(1)
+	ran := 0
+	for i := 1; i <= 10; i++ {
+		eng.After(units.Time(i)*units.Microsecond, func() { ran++ })
+	}
+	eng.LimitEvents(4)
+	for eng.Step() {
+	}
+	if ran != 4 || eng.Executed != 4 {
+		t.Fatalf("ran %d events (Executed=%d), want 4", ran, eng.Executed)
+	}
+	if !eng.EventBudgetExceeded() {
+		t.Fatal("budget stop not reported")
+	}
+	if eng.Pending() != 6 {
+		t.Fatalf("pending = %d, want the 6 unexecuted events", eng.Pending())
+	}
+
+	// Raising the cap resumes from where the run stopped.
+	eng.LimitEvents(0)
+	if eng.EventBudgetExceeded() {
+		t.Fatal("LimitEvents(0) did not clear the stop flag")
+	}
+	for eng.Step() {
+	}
+	if ran != 10 {
+		t.Fatalf("ran %d after lifting the cap, want 10", ran)
+	}
+
+	// Reset clears the budget entirely.
+	eng.LimitEvents(1)
+	eng.Reset(1)
+	ran = 0
+	for i := 0; i < 5; i++ {
+		eng.After(units.Microsecond, func() { ran++ })
+	}
+	eng.Run()
+	if ran != 5 {
+		t.Fatalf("budget survived Reset: ran %d, want 5", ran)
+	}
+	if eng.EventBudgetExceeded() {
+		t.Fatal("stop flag survived Reset")
+	}
+}

@@ -136,6 +136,8 @@ type Engine struct {
 	freeN     int          // free-list length, kept under maxFreeEvents
 	recycleFn func(*event) // bound recycle, built once so Reset stays allocation-free
 	stopped   bool
+	maxEvents uint64 // event budget (LimitEvents); 0 = unlimited
+	budgetHit bool   // the budget stopped the run (EventBudgetExceeded)
 	rng       *rand.Rand
 	// Executed counts events run; useful for progress assertions in tests.
 	Executed uint64
@@ -176,10 +178,27 @@ func (e *Engine) Reset(seed int64) {
 	e.seq = 0
 	e.live = 0
 	e.stopped = false
+	e.maxEvents = 0
+	e.budgetHit = false
 	e.Executed = 0
 	e.HighWater = 0
 	e.rng.Seed(seed)
 }
+
+// LimitEvents caps the number of events this run may execute (0 removes the
+// cap). When the cap is reached Step reports false as if the queue had
+// drained, so driver loops terminate naturally; EventBudgetExceeded
+// distinguishes a budget stop from a completed run. The budget is a
+// containment device for runaway simulations — a retransmission storm or a
+// fault-injection config that never converges — turning an infinite loop
+// into a structured, reportable failure.
+func (e *Engine) LimitEvents(n uint64) {
+	e.maxEvents = n
+	e.budgetHit = false
+}
+
+// EventBudgetExceeded reports whether the run was stopped by LimitEvents.
+func (e *Engine) EventBudgetExceeded() bool { return e.budgetHit }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() units.Time { return e.now }
@@ -297,6 +316,10 @@ func (e *Engine) peekLive(limit units.Time) *event {
 // events remain. Cancelled events encountered on the way are recycled
 // without counting as execution.
 func (e *Engine) Step() bool {
+	if e.maxEvents > 0 && e.Executed >= e.maxEvents {
+		e.budgetHit = true
+		return false
+	}
 	ev := e.peekLive(maxTime)
 	if ev == nil {
 		return false

@@ -173,6 +173,10 @@ type Conn struct {
 	stateTrace    []StatePoint
 	stateTraceMax int
 
+	// deliverHook observes in-order deliveries for the invariant auditor
+	// (SetDeliverHook). nil = disabled; the hot path pays one pointer test.
+	deliverHook func(from, to int64)
+
 	// Web100-style telemetry (SetTelemetry). nil = disabled: every hook is
 	// a nil-receiver no-op, so the hot path pays only a pointer test.
 	telem      *telemetry.ConnRecorder

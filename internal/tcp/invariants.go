@@ -1,0 +1,143 @@
+package tcp
+
+import "fmt"
+
+// This file is the connection's side of the runtime invariant auditor
+// (internal/audit): cheap accessors for monotonicity tracking, an in-order
+// delivery hook for end-to-end stream integrity, and CheckInvariants, a full
+// sanity sweep over the endpoint's internal bookkeeping. Nothing here runs
+// unless an auditor asks — the hook is a nil-guarded pointer and the
+// accessors are plain field reads — so un-audited runs pay nothing.
+
+// SndUna returns the lowest unacknowledged stream offset.
+func (c *Conn) SndUna() int64 { return c.sndUna }
+
+// SndNxt returns the next stream offset to be sent.
+func (c *Conn) SndNxt() int64 { return c.sndNxt }
+
+// RcvNxt returns the next in-order stream offset expected from the peer.
+func (c *Conn) RcvNxt() int64 { return c.rcvNxt }
+
+// AppWritten returns total bytes the application has written into the send
+// buffer.
+func (c *Conn) AppWritten() int64 { return c.appWritten }
+
+// SetDeliverHook registers f to observe every in-order delivery: f(from, to)
+// is called with the half-open stream range [from, to) the moment it becomes
+// readable. An auditor that sees only contiguous, non-overlapping calls whose
+// union is [0, total) has proved the byte stream arrived intact and exactly
+// once. nil disables the hook.
+func (c *Conn) SetDeliverHook(f func(from, to int64)) { c.deliverHook = f }
+
+// CheckInvariants sweeps the endpoint's bookkeeping and returns one message
+// per violated invariant (nil when healthy). It is read-only and safe to call
+// at any event boundary; the auditor calls it periodically and at run end.
+func (c *Conn) CheckInvariants() []string {
+	var v []string
+	bad := func(format string, args ...any) {
+		v = append(v, fmt.Sprintf(format, args...))
+	}
+
+	// Congestion state: a window of zero segments can never transmit again,
+	// and ssthresh below one segment would wedge recovery the same way.
+	if c.cwnd < 1 {
+		bad("cwnd = %d segments; must be >= 1", c.cwnd)
+	}
+	if c.ssthresh < 1 {
+		bad("ssthresh = %d segments; must be >= 1", c.ssthresh)
+	}
+
+	// Send sequence space: 0 <= snd_una <= snd_nxt <= appWritten. (SYN/FIN
+	// consume no sequence space in this model, so stream offsets bound both.)
+	if c.sndUna < 0 {
+		bad("snd_una = %d; negative", c.sndUna)
+	}
+	if c.sndUna > c.sndNxt {
+		bad("snd_una = %d > snd_nxt = %d", c.sndUna, c.sndNxt)
+	}
+	if c.sndNxt > c.appWritten {
+		bad("snd_nxt = %d > appWritten = %d", c.sndNxt, c.appWritten)
+	}
+
+	// Retransmit queue: sorted, non-overlapping, within (snd_una, snd_nxt].
+	checkSpans(&v, "retrq", c.retrq, c.sndUna, c.sndNxt)
+	// SACK scoreboard: same shape; everything below snd_una is trimmed.
+	checkSpans(&v, "sacked", c.sacked, c.sndUna, c.sndNxt)
+
+	// Receive side: ooo spans are sorted, disjoint, strictly beyond rcvNxt,
+	// and the cached truesize total matches the queue.
+	var oooTrue int64
+	for i, sp := range c.ooo {
+		if sp.from >= sp.to {
+			bad("ooo[%d] = [%d,%d): empty or inverted", i, sp.from, sp.to)
+		}
+		if sp.from < c.rcvNxt {
+			bad("ooo[%d] starts at %d, below rcv_nxt = %d", i, sp.from, c.rcvNxt)
+		}
+		if i > 0 && sp.from < c.ooo[i-1].to {
+			bad("ooo[%d] [%d,%d) overlaps ooo[%d] ending at %d",
+				i, sp.from, sp.to, i-1, c.ooo[i-1].to)
+		}
+		oooTrue += sp.truesize
+	}
+	if oooTrue != c.oooTrue {
+		bad("oooTrue = %d but ooo queue sums to %d", c.oooTrue, oooTrue)
+	}
+
+	// Receive queue: cached payload/truesize totals match the chunks.
+	var avail, tsum int64
+	for i, ch := range c.rcvq {
+		if ch.payload < 0 || ch.truesize < 0 {
+			bad("rcvq[%d] has negative accounting (payload=%d truesize=%d)",
+				i, ch.payload, ch.truesize)
+		}
+		avail += ch.payload
+		tsum += ch.truesize
+	}
+	if avail != c.rcvqAvail {
+		bad("rcvqAvail = %d but rcvq sums to %d", c.rcvqAvail, avail)
+	}
+	if tsum != c.rcvqTrue {
+		bad("rcvqTrue = %d but rcvq truesize sums to %d", c.rcvqTrue, tsum)
+	}
+	if c.rcvNxt < 0 {
+		bad("rcv_nxt = %d; negative", c.rcvNxt)
+	}
+	if c.advEdge < c.rcvNxt {
+		bad("advertised edge %d retreated below rcv_nxt = %d", c.advEdge, c.rcvNxt)
+	}
+
+	// A finished connection must hold no armed timers: enterDone cancels
+	// them all, and a survivor would re-inject events after teardown.
+	if c.state == StateDone {
+		if c.rtoTimer.Pending() {
+			bad("done but RTO timer still pending")
+		}
+		if c.persistTmr.Pending() {
+			bad("done but persist timer still pending")
+		}
+		if c.delackTmr.Pending() {
+			bad("done but delayed-ack timer still pending")
+		}
+	}
+	return v
+}
+
+// checkSpans verifies a span list is sorted, non-overlapping, non-empty per
+// entry, and contained in (lo, hi].
+func checkSpans(v *[]string, name string, spans []span, lo, hi int64) {
+	for i, sp := range spans {
+		if sp.from >= sp.to {
+			*v = append(*v, fmt.Sprintf("%s[%d] = [%d,%d): empty or inverted",
+				name, i, sp.from, sp.to))
+		}
+		if sp.to <= lo || sp.to > hi {
+			*v = append(*v, fmt.Sprintf("%s[%d] = [%d,%d) outside (%d,%d]",
+				name, i, sp.from, sp.to, lo, hi))
+		}
+		if i > 0 && sp.from < spans[i-1].to {
+			*v = append(*v, fmt.Sprintf("%s[%d] [%d,%d) overlaps previous ending at %d",
+				name, i, sp.from, sp.to, spans[i-1].to))
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package tcp
+
+import (
+	"strings"
+	"testing"
+
+	"tengig/internal/units"
+)
+
+// TestCheckInvariantsCleanTransfer: the full sanity sweep stays silent at
+// every event boundary of a real (lossy) transfer, and the deliver hook
+// tiles the byte stream exactly once.
+func TestCheckInvariantsCleanTransfer(t *testing.T) {
+	p := newPair(DefaultConfig(1500), DefaultConfig(1500), 50*units.Microsecond)
+	// Periodic loss keeps retransmit and SACK state populated so the sweep
+	// checks non-trivial structures.
+	p.dropAB = func(n int64, seg *Segment) bool { return seg.Len > 0 && n%17 == 0 }
+	p.connect(t)
+
+	var next int64
+	p.b.SetDeliverHook(func(from, to int64) {
+		if from != next || to <= from {
+			t.Fatalf("delivery [%d,%d) breaks contiguity at %d", from, to, next)
+		}
+		next = to
+	})
+	newSink(p.b)
+	const total = 200_000
+	newPump(p.a, total)
+	for p.eng.Step() {
+		for _, c := range []*Conn{p.a, p.b} {
+			for _, msg := range c.CheckInvariants() {
+				t.Fatalf("%s invariant broken mid-transfer: %s", c.Name(), msg)
+			}
+		}
+	}
+	if next != total {
+		t.Fatalf("deliver hook covered [0,%d), want [0,%d)", next, total)
+	}
+	if p.a.SndUna() != total || p.b.RcvNxt() != total || p.a.AppWritten() != total {
+		t.Fatalf("accessors disagree: snd_una=%d rcv_nxt=%d written=%d",
+			p.a.SndUna(), p.b.RcvNxt(), p.a.AppWritten())
+	}
+}
+
+// TestCheckInvariantsDetectsCorruption: seeded bookkeeping corruption is
+// reported, proving the sweep is not vacuous.
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(c *Conn)
+		want    string
+	}{
+		{"zero cwnd", func(c *Conn) { c.cwnd = 0 }, "cwnd"},
+		{"zero ssthresh", func(c *Conn) { c.ssthresh = 0 }, "ssthresh"},
+		{"una past nxt", func(c *Conn) { c.sndUna = c.sndNxt + 1 }, "snd_una"},
+		{"nxt past written", func(c *Conn) { c.sndNxt = c.appWritten + 1 }, "snd_nxt"},
+		{"negative rcv_nxt", func(c *Conn) { c.rcvNxt = -1 }, "rcv_nxt"},
+		{"retreated adv edge", func(c *Conn) { c.advEdge = c.rcvNxt - 1 }, "advertised edge"},
+		{"ooo inverted", func(c *Conn) {
+			c.ooo = []oooSpan{{span: span{from: c.rcvNxt + 10, to: c.rcvNxt + 5}}}
+		}, "ooo[0]"},
+		{"rcvq drift", func(c *Conn) { c.rcvqAvail += 7 }, "rcvqAvail"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := newPair(DefaultConfig(1500), DefaultConfig(1500), 10*units.Microsecond)
+			p.connect(t)
+			newSink(p.b)
+			newPump(p.a, 5000)
+			p.eng.Run()
+			for _, c := range []*Conn{p.a, p.b} {
+				if msgs := c.CheckInvariants(); len(msgs) != 0 {
+					t.Fatalf("healthy %s already failing: %v", c.Name(), msgs)
+				}
+			}
+			tc.corrupt(p.a)
+			msgs := p.a.CheckInvariants()
+			found := false
+			for _, m := range msgs {
+				if strings.Contains(m, tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("corruption %q not detected; sweep returned %v", tc.name, msgs)
+			}
+		})
+	}
+}
+
+// TestDoneConnHoldsNoTimers: the StateDone timer invariant holds after a
+// complete close, and a synthetic survivor is caught.
+func TestDoneConnHoldsNoTimers(t *testing.T) {
+	p := newPair(DefaultConfig(1500), DefaultConfig(1500), 10*units.Microsecond)
+	p.connect(t)
+	newSink(p.b)
+	newPump(p.a, 1000)
+	p.b.Close()
+	p.eng.Run()
+	if p.a.State() != StateDone || p.b.State() != StateDone {
+		t.Fatalf("close incomplete: a=%v b=%v", p.a.State(), p.b.State())
+	}
+	for _, c := range []*Conn{p.a, p.b} {
+		if msgs := c.CheckInvariants(); len(msgs) != 0 {
+			t.Fatalf("done %s fails sweep: %v", c.Name(), msgs)
+		}
+	}
+	p.a.rtoTimer = p.a.env.AfterCall(units.Second, func(any) {}, nil)
+	msgs := p.a.CheckInvariants()
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "RTO timer") {
+		t.Fatalf("armed timer on done conn not detected: %v", msgs)
+	}
+	p.a.rtoTimer.Stop()
+}

@@ -14,18 +14,33 @@ package tcp
 // to its origin pool, segments circulate back to the host that allocated
 // them, so the data/ACK asymmetry between endpoints never drains one pool
 // while flooding the other.
+// Like packet.Pool it tallies gets and puts so the invariant auditor can
+// prove every emitted segment is recycled exactly once per run.
 type SegmentPool struct {
 	free []*Segment
+	gets int64
+	puts int64
 }
 
 // NewSegmentPool returns an empty pool.
 func NewSegmentPool() *SegmentPool { return &SegmentPool{} }
+
+// Gets returns segments drawn from the pool.
+func (p *SegmentPool) Gets() int64 { return p.gets }
+
+// Puts returns segments recycled back to the pool.
+func (p *SegmentPool) Puts() int64 { return p.puts }
+
+// Outstanding returns segments drawn but not yet recycled — zero at
+// quiescence on a leak-free run.
+func (p *SegmentPool) Outstanding() int64 { return p.gets - p.puts }
 
 // Get returns a zeroed Segment, recycled when possible.
 func (p *SegmentPool) Get() *Segment {
 	if p == nil {
 		return &Segment{}
 	}
+	p.gets++
 	if n := len(p.free); n > 0 {
 		s := p.free[n-1]
 		p.free = p.free[:n-1]
@@ -41,6 +56,7 @@ func (p *SegmentPool) Put(s *Segment) {
 	if p == nil || s == nil {
 		return
 	}
+	p.puts++
 	*s = Segment{SACKBlocks: s.SACKBlocks[:0]}
 	p.free = append(p.free, s)
 }

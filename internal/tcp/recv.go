@@ -223,6 +223,9 @@ func (c *Conn) receiveData(seg *Segment) {
 	c.rcvqTrue += truesize
 	c.Stats.BytesReceived += payload
 	c.growRcvWindow(payload, truesize)
+	if c.deliverHook != nil {
+		c.deliverHook(from, c.rcvNxt)
+	}
 
 	c.ackData()
 	c.notifyReadable()
