@@ -22,6 +22,7 @@
 //	sweep -telemetry DIR  # export per-point instrument bundles (JSONL + CSV) into DIR
 //	sweep -chaos 500      # randomized fault-injection soak with the invariant auditor
 //	sweep -replay F.json  # replay a crash bundle and report reproduction
+//	sweep -topology F.json # compile a declarative topology file and run its flows
 package main
 
 import (
@@ -40,6 +41,7 @@ import (
 	"tengig/internal/sim"
 	"tengig/internal/telemetry"
 	"tengig/internal/tools"
+	"tengig/internal/topo"
 	"tengig/internal/units"
 )
 
@@ -58,6 +60,7 @@ var (
 	telemDir = flag.String("telemetry", "", "directory for per-run telemetry bundles (JSONL + CSV); enables instrument sampling on every sweep point")
 	chaos    = flag.Int("chaos", 0, "run N randomized fault-injection campaigns with the invariant auditor attached; non-zero exit on any violation")
 	replay   = flag.String("replay", "", "replay a crash-bundle JSON written by a contained sweep/chaos failure and report whether it reproduces")
+	topoFile = flag.String("topology", "", "compile a declarative topology file (JSON), run its flows, and report per-flow goodput and switch counters")
 	cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProf  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	sched    = flag.String("sched", sim.DefaultScheduler().String(), "event scheduler: wheel (O(1) timing wheel) or heap (reference binary heap); results are byte-identical either way")
@@ -95,6 +98,10 @@ func main() {
 	}
 	if *chaos != 0 {
 		runChaos(*chaos)
+		return
+	}
+	if *topoFile != "" {
+		runTopology(*topoFile)
 		return
 	}
 	ran := false
@@ -155,6 +162,64 @@ func runChaos(n int) {
 		os.Exit(1)
 	}
 	fmt.Println("all invariants held: pool balances exact, byte streams intact, no stalls")
+}
+
+// runTopology compiles a declarative topology file, drives every declared
+// flow to completion, and prints per-flow goodput plus each switch's
+// forwarding counters. With -telemetry DIR it also writes an instrument
+// bundle (including the per-switch fabric section) into DIR.
+func runTopology(path string) {
+	spec, err := topo.Load(path)
+	if err != nil {
+		log.Fatalf("topology: %v", err)
+	}
+	eng := sim.NewEngine(*seed)
+	net, err := topo.Compile(eng, spec, *seed)
+	if err != nil {
+		log.Fatalf("topology: %v", err)
+	}
+	var bundle *telemetry.Bundle
+	if *telemDir != "" {
+		bundle = net.AttachTelemetry(spec.Name, *seed, telemetry.Options{Enabled: true})
+	}
+	start := time.Now()
+	results, err := net.RunFlows(10 * units.Minute)
+	if err != nil {
+		log.Fatalf("topology: %v", err)
+	}
+	wall := time.Since(start)
+
+	fmt.Printf("== topology %s: %d hosts, %d switches, %d links, %d flows ==\n",
+		spec.Name, len(spec.Hosts), len(spec.Switches), len(spec.Links), len(spec.Flows))
+	fmt.Printf("%-20s %-12s %-12s %-10s %s\n", "flow", "bytes", "elapsed", "Gb/s", "retrans")
+	for _, r := range results {
+		fmt.Printf("%-20s %-12d %-12v %-10.3f %d\n",
+			fmt.Sprintf("%s->%s", r.Src, r.Dst), r.Bytes, r.Elapsed,
+			r.Throughput.Gbps(), r.Retransmits)
+	}
+	fmt.Printf("aggregate %.3f Gb/s over %d flows (wall %v)\n\n",
+		topo.Aggregate(results).Gbps(), len(results), wall.Round(time.Millisecond))
+
+	for _, fc := range net.FabricCounters() {
+		fmt.Printf("switch %-12s forwarded %-8d dropped %-6d no-route %-4d ttl-drops %d\n",
+			fc.Node, fc.Forwarded, fc.Dropped, fc.NoRoute, fc.TTLDrops)
+		for _, ps := range fc.Ports {
+			if ps.Forwarded == 0 && ps.Drops == 0 {
+				continue
+			}
+			fmt.Printf("  port %-28s fwd %-8d drops %-6d max-queued %d B\n",
+				ps.Link, ps.Forwarded, ps.Drops, ps.MaxQueued)
+		}
+	}
+
+	if bundle != nil {
+		bundle.CaptureEngine(eng.Executed, eng.HighWater)
+		net.CaptureFabric(bundle)
+		if err := core.WriteBundle(*telemDir, bundle); err != nil {
+			log.Fatalf("topology: %v", err)
+		}
+		fmt.Printf("telemetry bundle written to %s\n", *telemDir)
+	}
 }
 
 // replayBundle re-executes a crash bundle and reports reproduction. Exits

@@ -19,9 +19,11 @@ const crossoverProp = 50 * units.Nanosecond
 // hostLinkProp is the host-to-switch fiber delay.
 const hostLinkProp = 100 * units.Nanosecond
 
-// buildHost constructs a host from a profile and tuning, with one 10GbE
-// adapter.
-func buildHost(eng *sim.Engine, p Profile, t Tuning, name string, n int) *host.Host {
+// BuildHost constructs a host from a profile and tuning, with one 10GbE
+// adapter at address ipv4.HostN(n). It is the single host-construction
+// path shared by the hand-wired testbeds here and the declarative topology
+// compiler (internal/topo), so both produce byte-identical hosts.
+func BuildHost(eng *sim.Engine, p Profile, t Tuning, name string, n int) *host.Host {
 	cfg := HostConfig(p, name, ipv4.HostN(n))
 	cfg.Kernel.Uniprocessor = t.Uniprocessor
 	cfg.Kernel.Timestamps = t.Timestamps
@@ -30,11 +32,44 @@ func buildHost(eng *sim.Engine, p Profile, t Tuning, name string, n int) *host.H
 	cfg.Kernel.TxQueueLen = t.TxQueueLen
 	cfg.PCI.MMRBC = t.MMRBC
 	h := host.New(eng, cfg)
+	h.AddNIC(TunedNIC(t, false))
+	return h
+}
+
+// BuildHostGbE is BuildHost with an e1000-class Gigabit Ethernet adapter —
+// the sender class of the paper's aggregation experiments and the node
+// class of Beowulf-style cluster topologies.
+func BuildHostGbE(eng *sim.Engine, p Profile, t Tuning, name string, n int) *host.Host {
+	cfg := HostConfig(p, name, ipv4.HostN(n))
+	cfg.Kernel.Uniprocessor = t.Uniprocessor
+	cfg.Kernel.Timestamps = t.Timestamps
+	cfg.Kernel.NAPI = t.NAPI
+	cfg.Kernel.IRQRoundRobin = t.IRQRoundRobin
+	cfg.Kernel.TxQueueLen = t.TxQueueLen
+	cfg.PCI.MMRBC = t.MMRBC
+	h := host.New(eng, cfg)
+	h.AddNIC(TunedNIC(t, true))
+	return h
+}
+
+// TunedNIC derives an adapter configuration from the tuning: the paper's
+// Intel PRO/10GbE (or, for gbe, an e1000) with the tuning's MTU, interrupt
+// coalescing delay, and (10GbE only) TSO setting applied.
+func TunedNIC(t Tuning, gbe bool) nic.Config {
+	if gbe {
+		ncfg := nic.GbE(t.MTU)
+		ncfg.CoalesceDelay = t.CoalesceDelay
+		return ncfg
+	}
 	ncfg := nic.TenGbE(t.MTU)
 	ncfg.CoalesceDelay = t.CoalesceDelay
 	ncfg.TSO = t.TSO
-	h.AddNIC(ncfg)
-	return h
+	return ncfg
+}
+
+// buildHost is the package-internal spelling of BuildHost.
+func buildHost(eng *sim.Engine, p Profile, t Tuning, name string, n int) *host.Host {
+	return BuildHost(eng, p, t, name, n)
 }
 
 // BackToBack builds the Figure 2(a) topology: two hosts joined by a
@@ -101,8 +136,12 @@ func ThroughSwitchOn(eng *sim.Engine, p Profile, t Tuning) (*tools.Pair, error) 
 	attB := fabric.AttachDevice(eng, sw, b.NIC(0).Adapter, "b-sw",
 		10*units.GbitPerSecond, hostLinkProp, 4*units.MB)
 	b.NIC(0).Adapter.AttachPort(attB.ToSwitch)
-	sw.Route(a.Addr(), attA.PortIdx)
-	sw.Route(b.Addr(), attB.PortIdx)
+	if err := sw.Route(a.Addr(), attA.PortIdx); err != nil {
+		return nil, err
+	}
+	if err := sw.Route(b.Addr(), attB.PortIdx); err != nil {
+		return nil, err
+	}
 	return connectPair(eng, a, b, t)
 }
 
@@ -179,7 +218,9 @@ func NewMultiFlowNICsOn(eng *sim.Engine, sinkProfile Profile, t Tuning, n int, k
 			addr = ipv4.HostN(1000 + idx)
 		}
 		sinkAddrs[idx] = addr
-		m.Switch.Route(addr, att.PortIdx)
+		if err := m.Switch.Route(addr, att.PortIdx); err != nil {
+			return nil, err
+		}
 	}
 
 	for i := 0; i < n; i++ {
@@ -194,7 +235,9 @@ func NewMultiFlowNICsOn(eng *sim.Engine, sinkProfile Profile, t Tuning, n int, k
 		satt := fabric.AttachDevice(eng, m.Switch, sender.NIC(0).Adapter,
 			fmt.Sprintf("s%d-sw", i), senderRate(kind), hostLinkProp, 4*units.MB)
 		sender.NIC(0).Adapter.AttachPort(satt.ToSwitch)
-		m.Switch.Route(sender.Addr(), satt.PortIdx)
+		if err := m.Switch.Route(sender.Addr(), satt.PortIdx); err != nil {
+			return nil, err
+		}
 		m.Senders = append(m.Senders, sender)
 
 		cfg := st.TCPConfig()

@@ -30,12 +30,43 @@ type Attachment struct {
 // (Attachment.ToSwitch) must be attached to its NIC; traffic for addresses
 // routed to this port leaves through ToDevice. queueCap bounds the output
 // queue toward the device.
+//
+// The two directions get distinct names — linkName/up toward the switch,
+// linkName/down toward the device — so per-direction trace and telemetry
+// output stays attributable on a full-duplex link.
 func AttachDevice(eng *sim.Engine, n *Node, dev phys.Receiver, linkName string,
 	rate units.Bandwidth, prop units.Time, queueCap units.ByteSize) Attachment {
-	link := phys.NewLink(eng, linkName, rate, prop, phys.EthernetFraming{})
-	// Device sends a->b into the switch; switch sends b->a to the device.
-	link.AtoB.SetDst(n.In())
-	link.BtoA.SetDst(dev)
-	idx := n.AddPort(link.BtoA, queueCap)
-	return Attachment{ToDevice: link.BtoA, ToSwitch: link.AtoB, PortIdx: idx}
+	up := phys.NewPort(eng, linkName+"/up", rate, prop, phys.EthernetFraming{})
+	down := phys.NewPort(eng, linkName+"/down", rate, prop, phys.EthernetFraming{})
+	// Device sends up into the switch; switch sends down to the device.
+	up.SetDst(n.In())
+	down.SetDst(dev)
+	idx := n.AddPort(down, queueCap)
+	return Attachment{ToDevice: down, ToSwitch: up, PortIdx: idx}
+}
+
+// Trunk is an inter-switch link: an output port on each node transmitting
+// into the other's forwarding path.
+type Trunk struct {
+	// AtoB is a's transmit port toward b; BtoA the reverse.
+	AtoB *phys.Port
+	BtoA *phys.Port
+	// PortA is the output port index on a (toward b); PortB on b (toward a).
+	PortA int
+	PortB int
+}
+
+// AttachTrunk joins two forwarding nodes with a full-duplex inter-switch
+// link at rate and one-way propagation prop; queueCap bounds each
+// direction's drop-tail output queue. Port names carry the traversal
+// direction (linkName/a>b, linkName/b>a by node name) for telemetry.
+func AttachTrunk(eng *sim.Engine, a, b *Node, linkName string,
+	rate units.Bandwidth, prop units.Time, queueCap units.ByteSize) Trunk {
+	ab := phys.NewPort(eng, linkName+"/"+a.name+">"+b.name, rate, prop, phys.EthernetFraming{})
+	ba := phys.NewPort(eng, linkName+"/"+b.name+">"+a.name, rate, prop, phys.EthernetFraming{})
+	ab.SetDst(b.In())
+	ba.SetDst(a.In())
+	pa := a.AddPort(ab, queueCap)
+	pb := b.AddPort(ba, queueCap)
+	return Trunk{AtoB: ab, BtoA: ba, PortA: pa, PortB: pb}
 }

@@ -11,6 +11,28 @@ type EngineCounters struct {
 	HighWater int `json:"high_water"`
 }
 
+// FabricPortCounters is one switch output port's forwarding totals, keyed by
+// the direction-qualified link name.
+type FabricPortCounters struct {
+	Link      string `json:"link"`
+	Forwarded int64  `json:"forwarded"`
+	Bytes     int64  `json:"bytes"`
+	Drops     int64  `json:"drops"`
+	MaxQueued int64  `json:"max_queued"`
+}
+
+// FabricCounters is one forwarding node's end-of-run totals: the node-level
+// loss taxonomy plus per-port queue counters. Recorded only for runs that
+// traverse switches, so point-to-point bundles are unchanged byte-for-byte.
+type FabricCounters struct {
+	Node      string               `json:"node"`
+	Forwarded int64                `json:"forwarded"`
+	Dropped   int64                `json:"dropped"`
+	NoRoute   int64                `json:"no_route"`
+	TTLDrops  int64                `json:"ttl_drops"`
+	Ports     []FabricPortCounters `json:"ports"`
+}
+
 // Bundle is one run's telemetry: every instrumented connection plus the
 // engine counters, under a stable name (the export file stem). Connections
 // appear in registration order, which is construction order and therefore
@@ -22,6 +44,10 @@ type Bundle struct {
 
 	// Engine is filled after the run (CaptureEngine or by the harness).
 	Engine EngineCounters
+
+	// Fabric holds per-switch forwarding counters, in capture order (the
+	// topology's switch declaration order). Empty for switchless runs.
+	Fabric []FabricCounters
 
 	// Wall is the host wall-clock time the run took. It is deliberately
 	// excluded from the JSONL/CSV exports, which must be byte-deterministic
@@ -61,4 +87,10 @@ func (b *Bundle) Lookup(name string) *ConnRecorder {
 // CaptureEngine records the engine counters (call once, after the run).
 func (b *Bundle) CaptureEngine(events uint64, highWater int) {
 	b.Engine = EngineCounters{Events: events, HighWater: highWater}
+}
+
+// CaptureFabric appends one forwarding node's counters. Call once per switch,
+// after the run, in a deterministic (declaration) order.
+func (b *Bundle) CaptureFabric(fc FabricCounters) {
+	b.Fabric = append(b.Fabric, fc)
 }

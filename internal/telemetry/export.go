@@ -54,6 +54,11 @@ type engineLine struct {
 	EngineCounters
 }
 
+type fabricLine struct {
+	Type string `json:"type"` // "fabric"
+	FabricCounters
+}
+
 // WriteJSONL writes the bundle as JSON lines.
 func (b *Bundle) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
@@ -89,6 +94,14 @@ func (b *Bundle) WriteJSONL(w io.Writer) error {
 	}
 	if err := enc(engineLine{Type: "engine", EngineCounters: b.Engine}); err != nil {
 		return err
+	}
+	// Fabric counters follow the engine footer so switchless bundles — the
+	// pinned golden exports among them — are byte-identical to before the
+	// record type existed.
+	for _, fc := range b.Fabric {
+		if err := enc(fabricLine{Type: "fabric", FabricCounters: fc}); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }
@@ -184,6 +197,12 @@ func ParseJSONL(data []byte) (*Bundle, error) {
 				return nil, err
 			}
 			b.Engine = g.EngineCounters
+		case "fabric":
+			var f fabricLine
+			if err := json.Unmarshal(line, &f); err != nil {
+				return nil, err
+			}
+			b.Fabric = append(b.Fabric, f.FabricCounters)
 		default:
 			return nil, fmt.Errorf("telemetry: line %d: unknown record type %q", ln+1, typ.Type)
 		}
@@ -220,6 +239,14 @@ func (b *Bundle) Summary() string {
 		}
 		if len(evs) > 0 {
 			fmt.Fprintf(&sb, "    events    %s\n", strings.Join(evs, "  "))
+		}
+	}
+	for _, fc := range b.Fabric {
+		fmt.Fprintf(&sb, "  fabric %-16s forwarded %d  dropped %d  no-route %d  ttl-drops %d\n",
+			fc.Node, fc.Forwarded, fc.Dropped, fc.NoRoute, fc.TTLDrops)
+		for _, ps := range fc.Ports {
+			fmt.Fprintf(&sb, "    port %-24s fwd %d (%d B)  drops %d  max-queued %d B\n",
+				ps.Link, ps.Forwarded, ps.Bytes, ps.Drops, ps.MaxQueued)
 		}
 	}
 	fmt.Fprintf(&sb, "  engine: %d events executed, queue high-water %d\n",

@@ -1,0 +1,330 @@
+package topo
+
+import (
+	"fmt"
+
+	"tengig/internal/core"
+	"tengig/internal/fabric"
+	"tengig/internal/host"
+	"tengig/internal/ipv4"
+	"tengig/internal/netem"
+	"tengig/internal/sim"
+	"tengig/internal/telemetry"
+	"tengig/internal/tools"
+	"tengig/internal/units"
+)
+
+// Network is a compiled, live topology: hosts built, fabric wired, FIBs
+// filled, flows connected. All slices preserve spec declaration order, which
+// is what makes compiled runs deterministic.
+type Network struct {
+	Eng  *sim.Engine
+	Spec *Spec
+
+	hosts    map[string]*host.Host
+	switches map[string]*fabric.Node
+	tunings  map[string]core.Tuning
+
+	// Pairs holds the connected measurement flows, one per Spec.Flows entry.
+	Pairs []*tools.Pair
+	flows []FlowSpec // with defaults resolved
+
+	// impairs are the netem stages created for links with fault scripts,
+	// keyed for diagnostics by directional link name.
+	impairs     []*netem.Impair
+	impairNames []string
+}
+
+// Compile builds the spec on eng. seed feeds the per-link netem stages (only
+// links with fault scripts get one); it is conventionally the engine's seed.
+//
+// The compiler makes exactly the construction calls the hand-wired testbeds
+// in internal/core make, in the same order — hosts in declaration order,
+// then switches, then links, then routes, then one connect per flow — so a
+// file transcribing core.ThroughSwitchOn produces a byte-identical
+// simulation.
+func Compile(eng *sim.Engine, s *Spec, seed int64) (*Network, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		Eng:      eng,
+		Spec:     s,
+		hosts:    make(map[string]*host.Host, len(s.Hosts)),
+		switches: make(map[string]*fabric.Node, len(s.Switches)),
+		tunings:  make(map[string]core.Tuning, len(s.Hosts)),
+	}
+
+	// Hosts, in declaration order, through the same construction path the
+	// hand-wired testbeds use.
+	for i, hs := range s.Hosts {
+		tuning := s.Tuning
+		if hs.Tuning != nil {
+			tuning = hs.Tuning
+		}
+		t, err := tuning.Resolve()
+		if err != nil {
+			return nil, fmt.Errorf("topo %s: host %s: %w", s.Name, hs.Name, err)
+		}
+		profile := core.PE2650
+		if hs.Profile != "" {
+			if profile, err = core.ParseProfile(hs.Profile); err != nil {
+				return nil, err
+			}
+		}
+		addr := i + 1
+		if hs.Addr != 0 {
+			addr = hs.Addr
+		}
+		var h *host.Host
+		if hs.NIC == NIC1G {
+			h = core.BuildHostGbE(eng, profile, t, hs.Name, addr)
+		} else {
+			h = core.BuildHost(eng, profile, t, hs.Name, addr)
+		}
+		n.hosts[hs.Name] = h
+		n.tunings[hs.Name] = t
+	}
+
+	// Switches.
+	for _, ss := range s.Switches {
+		var sw *fabric.Node
+		if ss.Preset == PresetFastIron {
+			sw = fabric.FastIron(eng, ss.Name)
+		} else {
+			sw = fabric.NewNode(eng, ss.Name,
+				units.Time(ss.LatencyNS*float64(units.Nanosecond)),
+				units.Bandwidth(ss.BackplaneGbps*float64(units.GbitPerSecond)))
+		}
+		if ss.HopLimit > 0 {
+			sw.SetHopLimit(ss.HopLimit)
+		}
+		n.switches[ss.Name] = sw
+	}
+
+	// Links, in declaration order. portOn[switch][linkIdx] records which
+	// output port each link occupies, for route installation below.
+	portOn := make(map[string]map[int]int, len(s.Switches))
+	for _, ss := range s.Switches {
+		portOn[ss.Name] = make(map[int]int)
+	}
+	for li := range s.Links {
+		if err := n.wireLink(li, portOn, seed); err != nil {
+			return nil, err
+		}
+	}
+
+	// Routes: shortest-path precompute first, then explicit pins on top.
+	tables := s.routeTables()
+	for _, ss := range s.Switches {
+		sw := n.switches[ss.Name]
+		for _, hs := range s.Hosts {
+			li, ok := tables[ss.Name][hs.Name]
+			if !ok {
+				continue
+			}
+			if err := sw.Route(n.hosts[hs.Name].Addr(), portOn[ss.Name][li]); err != nil {
+				return nil, fmt.Errorf("topo %s: %w", s.Name, err)
+			}
+		}
+	}
+	for i, r := range s.Routes {
+		sw := n.switches[r.Switch]
+		port := 0
+		if r.Port != nil {
+			port = *r.Port
+		} else {
+			li, err := s.linkBetween(r.Switch, r.Via)
+			if err != nil {
+				return nil, fmt.Errorf("topo %s: route %d: %w", s.Name, i, err)
+			}
+			p, ok := portOn[r.Switch][li]
+			if !ok {
+				return nil, fmt.Errorf("topo %s: route %d: link %s has no port on %s",
+					s.Name, i, s.Links[li].EffectiveName(), r.Switch)
+			}
+			port = p
+		}
+		if err := sw.Route(n.hosts[r.Dst].Addr(), port); err != nil {
+			return nil, fmt.Errorf("topo %s: route %d: %w", s.Name, i, err)
+		}
+	}
+
+	// Flows: resolve defaults, verify reachability, open and connect each
+	// pair in order (flow IDs 1, 2, ... by position, as the hand-wired
+	// multi-flow testbed assigns them).
+	adj := s.adjacency()
+	isSwitch := make(map[string]bool, len(s.Switches))
+	for _, ss := range s.Switches {
+		isSwitch[ss.Name] = true
+	}
+	distTo := make(map[string]map[string]int)
+	for i, f := range s.Flows {
+		if distTo[f.Dst] == nil {
+			distTo[f.Dst] = s.bfs(adj, isSwitch, f.Dst)
+		}
+		if _, ok := distTo[f.Dst][f.Src]; !ok {
+			return nil, fmt.Errorf("topo %s: flow %d: no path from %s to %s",
+				s.Name, i, f.Src, f.Dst)
+		}
+		if f.Count == 0 {
+			f.Count = DefaultFlowCount
+		}
+		if f.Payload == 0 {
+			f.Payload = DefaultFlowPayload
+		}
+		src, dst := n.hosts[f.Src], n.hosts[f.Dst]
+		flowID := uint32(i + 1)
+		sa := src.OpenSocket(flowID, dst.Addr(), n.tunings[f.Src].TCPConfig(), 0)
+		sb := dst.OpenSocket(flowID, src.Addr(), n.tunings[f.Dst].TCPConfig(), 0)
+		pair := &tools.Pair{Eng: eng, SrcHost: src, DstHost: dst, Src: sa, Dst: sb}
+		if err := pair.Connect(units.Second); err != nil {
+			return nil, fmt.Errorf("topo %s: flow %d (%s -> %s): %w",
+				s.Name, i, f.Src, f.Dst, err)
+		}
+		n.Pairs = append(n.Pairs, pair)
+		n.flows = append(n.flows, f)
+	}
+	return n, nil
+}
+
+// wireLink realizes spec link li: a switch-port attachment for a host link,
+// a trunk for an inter-switch link. Fault scripts, when present, splice a
+// netem stage into the affected direction; clean links get none.
+func (n *Network) wireLink(li int, portOn map[string]map[int]int, seed int64) error {
+	s := n.Spec
+	l := &s.Links[li]
+	name := l.EffectiveName()
+	hostA, isHostA := n.hosts[l.A]
+	hostB, isHostB := n.hosts[l.B]
+	switch {
+	case isHostA || isHostB:
+		// Host-switch attachment. Normalize to (host h, switch swName).
+		h, swName := hostA, l.B
+		if isHostB {
+			h, swName = hostB, l.A
+		}
+		var hostNIC string
+		for _, hs := range s.Hosts {
+			if (isHostA && hs.Name == l.A) || (isHostB && hs.Name == l.B) {
+				hostNIC = hs.NIC
+			}
+		}
+		sw := n.switches[swName]
+		att := fabric.AttachDevice(n.Eng, sw, h.NIC(0).Adapter, name,
+			l.rate(hostNIC), l.prop(), l.queueCap())
+		h.NIC(0).Adapter.AttachPort(att.ToSwitch)
+		portOn[swName][li] = att.PortIdx
+		if l.Faults != nil {
+			up, down := l.Faults.AtoB, l.Faults.BtoA
+			if isHostB { // spec A is the switch: a_to_b is switch-to-host
+				up, down = l.Faults.BtoA, l.Faults.AtoB
+			}
+			if len(up) > 0 {
+				im := netem.New(n.Eng, sw.In(), seed+2*int64(li))
+				up.Apply(n.Eng, im)
+				att.ToSwitch.SetDst(im)
+				n.addImpair(name+"/up", im)
+			}
+			if len(down) > 0 {
+				im := netem.New(n.Eng, h.NIC(0).Adapter, seed+2*int64(li)+1)
+				down.Apply(n.Eng, im)
+				att.ToDevice.SetDst(im)
+				n.addImpair(name+"/down", im)
+			}
+		}
+	default:
+		// Switch-switch trunk.
+		swA, swB := n.switches[l.A], n.switches[l.B]
+		tr := fabric.AttachTrunk(n.Eng, swA, swB, name, l.rate(""), l.prop(), l.queueCap())
+		portOn[l.A][li] = tr.PortA
+		portOn[l.B][li] = tr.PortB
+		if l.Faults != nil {
+			if len(l.Faults.AtoB) > 0 {
+				im := netem.New(n.Eng, swB.In(), seed+2*int64(li))
+				l.Faults.AtoB.Apply(n.Eng, im)
+				tr.AtoB.SetDst(im)
+				n.addImpair(name+"/"+l.A+">"+l.B, im)
+			}
+			if len(l.Faults.BtoA) > 0 {
+				im := netem.New(n.Eng, swA.In(), seed+2*int64(li)+1)
+				l.Faults.BtoA.Apply(n.Eng, im)
+				tr.BtoA.SetDst(im)
+				n.addImpair(name+"/"+l.B+">"+l.A, im)
+			}
+		}
+	}
+	return nil
+}
+
+func (n *Network) addImpair(name string, im *netem.Impair) {
+	n.impairs = append(n.impairs, im)
+	n.impairNames = append(n.impairNames, name)
+}
+
+// Host returns the named host (nil if absent).
+func (n *Network) Host(name string) *host.Host { return n.hosts[name] }
+
+// Switch returns the named switch (nil if absent).
+func (n *Network) Switch(name string) *fabric.Node { return n.switches[name] }
+
+// Tuning returns the named host's resolved tuning.
+func (n *Network) Tuning(name string) core.Tuning { return n.tunings[name] }
+
+// Impairs returns the netem stages created for fault-scripted links, with
+// their directional names, in link declaration order.
+func (n *Network) Impairs() ([]*netem.Impair, []string) {
+	return n.impairs, n.impairNames
+}
+
+// FabricCounters snapshots every switch's forwarding counters in declaration
+// order, ready for telemetry capture.
+func (n *Network) FabricCounters() []telemetry.FabricCounters {
+	out := make([]telemetry.FabricCounters, 0, len(n.Spec.Switches))
+	for _, ss := range n.Spec.Switches {
+		sw := n.switches[ss.Name]
+		fc := telemetry.FabricCounters{
+			Node:      ss.Name,
+			Forwarded: sw.Stats.Forwarded,
+			Dropped:   sw.Stats.Dropped,
+			NoRoute:   sw.Stats.NoRoute,
+			TTLDrops:  sw.Stats.TTLDrops,
+		}
+		for _, ps := range sw.PortStats() {
+			fc.Ports = append(fc.Ports, telemetry.FabricPortCounters{
+				Link:      ps.Link,
+				Forwarded: ps.Forwarded,
+				Bytes:     ps.Bytes,
+				Drops:     ps.Drops,
+				MaxQueued: ps.MaxQueued,
+			})
+		}
+		out = append(out, fc)
+	}
+	return out
+}
+
+// CaptureFabric appends every switch's counters to the bundle (call after
+// the run).
+func (n *Network) CaptureFabric(b *telemetry.Bundle) {
+	for _, fc := range n.FabricCounters() {
+		b.CaptureFabric(fc)
+	}
+}
+
+// AttachTelemetry instruments every flow's endpoints and starts their
+// samplers, like core.AttachTelemetry does for a single pair.
+func (n *Network) AttachTelemetry(name string, seed int64, opt telemetry.Options) *telemetry.Bundle {
+	b := telemetry.NewBundle(name, seed, opt)
+	for _, p := range n.Pairs {
+		for _, sock := range []*host.Socket{p.Src, p.Dst} {
+			rec := b.Conn(sock.Conn.Name())
+			sock.Conn.SetTelemetry(rec)
+			sock.Conn.StartTelemetrySampler(opt.Interval())
+		}
+	}
+	return b
+}
+
+// Addr returns the named host's address.
+func (n *Network) Addr(name string) ipv4.Addr { return n.hosts[name].Addr() }

@@ -1,0 +1,112 @@
+package topo_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"tengig/internal/core"
+	"tengig/internal/sim"
+	"tengig/internal/telemetry"
+	"tengig/internal/tools"
+	"tengig/internal/topo"
+	"tengig/internal/units"
+)
+
+// TestCompiledBaselineByteIdentical proves the compiler is a pure front end:
+// the shipped paper-baseline topology file — two PE2650 hosts through the
+// FastIron 1500, fully tuned — must produce a telemetry export that is
+// byte-identical (same SHA-256) to the hand-wired core.ThroughSwitchOn
+// construction under the same seed and transfer. Any divergence in host
+// construction order, link parameters, tuning resolution, or route
+// installation shows up here as a digest mismatch.
+func TestCompiledBaselineByteIdentical(t *testing.T) {
+	const (
+		seed    = 7
+		count   = 1500
+		payload = 8948
+	)
+	opt := telemetry.Options{Enabled: true}
+
+	// Hand-wired reference.
+	eng1 := sim.NewEngine(seed)
+	ref, err := core.ThroughSwitchOn(eng1, core.PE2650, core.Optimized(9000))
+	if err != nil {
+		t.Fatalf("hand-wired build: %v", err)
+	}
+	b1 := core.AttachTelemetry(ref, "baseline", seed, opt)
+	res1, err := tools.NTTCP(ref, count, payload, 10*units.Minute)
+	if err != nil {
+		t.Fatalf("hand-wired transfer: %v", err)
+	}
+	core.CapturePairEngine(b1, ref)
+	d1 := sha256.Sum256(b1.ExportJSONL())
+
+	// Compiled from the declarative description.
+	spec, err := topo.Load("../../examples/topologies/paper-baseline.json")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	eng2 := sim.NewEngine(seed)
+	net, err := topo.Compile(eng2, spec, seed)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if len(net.Pairs) != 1 {
+		t.Fatalf("compiled %d flows, want 1", len(net.Pairs))
+	}
+	pair := net.Pairs[0]
+	b2 := core.AttachTelemetry(pair, "baseline", seed, opt)
+	res2, err := tools.NTTCP(pair, count, payload, 10*units.Minute)
+	if err != nil {
+		t.Fatalf("compiled transfer: %v", err)
+	}
+	core.CapturePairEngine(b2, pair)
+	d2 := sha256.Sum256(b2.ExportJSONL())
+
+	if d1 != d2 {
+		t.Errorf("telemetry digests diverge:\n  hand-wired %s (%.3f Gb/s, %d events)\n  compiled   %s (%.3f Gb/s, %d events)",
+			hex.EncodeToString(d1[:]), res1.Throughput.Gbps(), eng1.Executed,
+			hex.EncodeToString(d2[:]), res2.Throughput.Gbps(), eng2.Executed)
+	}
+	if res1.Throughput != res2.Throughput || res1.Elapsed != res2.Elapsed {
+		t.Errorf("transfer results diverge: hand-wired %+v, compiled %+v", res1, res2)
+	}
+}
+
+// TestCompileDeterministic compiles and runs the fat-tree twice under the
+// same seed: flow results and fabric counters must match exactly, proving
+// that route precompute and construction order are stable.
+func TestCompileDeterministic(t *testing.T) {
+	run := func() ([]topo.FlowResult, []telemetry.FabricCounters) {
+		spec, err := topo.Load("../../examples/topologies/fattree-pod.json")
+		if err != nil {
+			t.Fatalf("load: %v", err)
+		}
+		net, err := topo.Compile(sim.NewEngine(11), spec, 11)
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		res, err := net.RunFlows(10 * units.Minute)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return res, net.FabricCounters()
+	}
+	res1, fc1 := run()
+	res2, fc2 := run()
+	for i := range res1 {
+		if res1[i] != res2[i] {
+			t.Errorf("flow %d diverges: %+v vs %+v", i, res1[i], res2[i])
+		}
+	}
+	if len(fc1) != len(fc2) {
+		t.Fatalf("fabric counter sets differ in length")
+	}
+	for i := range fc1 {
+		if fc1[i].Node != fc2[i].Node || fc1[i].Forwarded != fc2[i].Forwarded ||
+			fc1[i].Dropped != fc2[i].Dropped {
+			t.Errorf("switch %s counters diverge: %+v vs %+v", fc1[i].Node, fc1[i], fc2[i])
+		}
+	}
+}

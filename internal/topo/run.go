@@ -1,0 +1,100 @@
+package topo
+
+import (
+	"fmt"
+
+	"tengig/internal/units"
+)
+
+// FlowResult is one flow's completed transfer.
+type FlowResult struct {
+	Src, Dst string
+	Flow     uint32
+	Bytes    int64
+	Elapsed  units.Time
+	// Throughput is application-visible goodput, first write to last byte
+	// consumed by the receiver.
+	Throughput  units.Bandwidth
+	Retransmits int64
+}
+
+// RunFlows drives every declared flow concurrently to completion — all
+// senders start at the same simulated instant, as the paper's aggregation
+// experiments do — and reports per-flow goodput. A flow that has not
+// finished by timeout fails the run.
+func (n *Network) RunFlows(timeout units.Time) ([]FlowResult, error) {
+	if len(n.Pairs) == 0 {
+		return nil, fmt.Errorf("topo %s: no flows declared", n.Spec.Name)
+	}
+	start := n.Eng.Now()
+	type state struct {
+		total    int64
+		received int64
+		doneAt   units.Time
+	}
+	states := make([]*state, len(n.Pairs))
+	remaining := len(n.Pairs)
+	for i, p := range n.Pairs {
+		f := n.flows[i]
+		st := &state{total: int64(f.Count) * int64(f.Payload)}
+		states[i] = st
+		p.Dst.SetAutoRead(func(nb int64) {
+			st.received += nb
+			if st.received >= st.total && st.doneAt == 0 {
+				st.doneAt = n.Eng.Now()
+				remaining--
+			}
+		})
+	}
+	// Start every sender before stepping: the writes all land at the same
+	// simulated time, so flows genuinely contend from the first byte.
+	for i, p := range n.Pairs {
+		p.Src.Send(states[i].total, n.flows[i].Payload, true, nil)
+	}
+	deadline := start + timeout
+	for remaining > 0 && n.Eng.Now() < deadline {
+		if !n.Eng.Step() {
+			break
+		}
+	}
+	out := make([]FlowResult, len(n.Pairs))
+	var stuck []string
+	for i, p := range n.Pairs {
+		f, st := n.flows[i], states[i]
+		if st.doneAt == 0 {
+			stuck = append(stuck, fmt.Sprintf("%s->%s (%d of %d bytes)",
+				f.Src, f.Dst, st.received, st.total))
+			continue
+		}
+		elapsed := st.doneAt - start
+		out[i] = FlowResult{
+			Src: f.Src, Dst: f.Dst, Flow: uint32(i + 1),
+			Bytes:       st.received,
+			Elapsed:     elapsed,
+			Throughput:  units.Throughput(st.received, elapsed),
+			Retransmits: p.Src.Conn.Stats.Retransmits,
+		}
+	}
+	if len(stuck) > 0 {
+		return nil, fmt.Errorf("topo %s: %d flows incomplete after %v: %v",
+			n.Spec.Name, len(stuck), timeout, stuck)
+	}
+	return out, nil
+}
+
+// Aggregate sums the flows' goodput over the slowest flow's elapsed time —
+// the aggregation number the paper reports for its multi-flow experiments.
+func Aggregate(results []FlowResult) units.Bandwidth {
+	var bytes int64
+	var span units.Time
+	for _, r := range results {
+		bytes += r.Bytes
+		if r.Elapsed > span {
+			span = r.Elapsed
+		}
+	}
+	if span == 0 {
+		return 0
+	}
+	return units.Throughput(bytes, span)
+}

@@ -12,6 +12,7 @@ import (
 	"tengig/internal/ethernet"
 	"tengig/internal/fabric"
 	"tengig/internal/host"
+	"tengig/internal/ipv4"
 	"tengig/internal/phys"
 	"tengig/internal/sim"
 	"tengig/internal/units"
@@ -133,16 +134,24 @@ func Build(eng *sim.Engine, west, east *host.Host, nicW, nicE int, cfg Config) *
 	p.BottleneckWest = p.Gva7606.Port(gvaToChi)
 
 	// Routes: eastbound toward the Geneva host, westbound toward Sunnyvale.
-	p.SnvGSR.Route(east.Addr(), snvToChi)
-	p.ChiT640.Route(east.Addr(), t640To7609)
-	p.Chi7609.Route(east.Addr(), chiToGva)
-	p.Gva7606.Route(east.Addr(), eAtt.PortIdx)
-	p.Gva7606.Route(west.Addr(), gvaToChi)
-	p.Chi7609.Route(west.Addr(), r7609ToT640)
-	p.ChiT640.Route(west.Addr(), chiToSnv)
-	p.SnvGSR.Route(west.Addr(), wAtt.PortIdx)
+	// The port indices are all freshly returned by AddPort/AttachDevice, so a
+	// route failure here is a programming error, not bad input.
+	mustRoute(p.SnvGSR, east.Addr(), snvToChi)
+	mustRoute(p.ChiT640, east.Addr(), t640To7609)
+	mustRoute(p.Chi7609, east.Addr(), chiToGva)
+	mustRoute(p.Gva7606, east.Addr(), eAtt.PortIdx)
+	mustRoute(p.Gva7606, west.Addr(), gvaToChi)
+	mustRoute(p.Chi7609, west.Addr(), r7609ToT640)
+	mustRoute(p.ChiT640, west.Addr(), chiToSnv)
+	mustRoute(p.SnvGSR, west.Addr(), wAtt.PortIdx)
 
 	return p
+}
+
+func mustRoute(n *fabric.Node, dst ipv4.Addr, port int) {
+	if err := n.Route(dst, port); err != nil {
+		panic(err.Error())
+	}
 }
 
 // RecordTuning returns the paper's §4.1 host tuning for the path: socket
