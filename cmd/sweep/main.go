@@ -35,6 +35,7 @@ import (
 	"strings"
 	"time"
 
+	"tengig/internal/bench"
 	"tengig/internal/compare"
 	"tengig/internal/core"
 	"tengig/internal/prof"
@@ -64,6 +65,11 @@ var (
 	cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProf  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	sched    = flag.String("sched", sim.DefaultScheduler().String(), "event scheduler: wheel (O(1) timing wheel) or heap (reference binary heap); results are byte-identical either way")
+	metricsF = flag.Bool("metrics", false, "aggregate fleet-level metrics (FCT percentiles, Jain's fairness, per-class goodput) across every run and print the report")
+	progress = flag.Bool("progress", false, "print a live progress line (points completed / ETA) to stderr while sweeps run")
+	baseline = flag.String("baseline", "", "comma-separated BENCH_*.json baselines to compare this run against (sweep files check simulated Gb/s; kernel/sched files re-measure allocs/op in-process)")
+	gateF    = flag.Bool("gate", false, "exit non-zero when a -baseline comparison finds a regression past -gate-threshold")
+	gateThr  = flag.Float64("gate-threshold", 0.02, "relative throughput loss that counts as a sweep regression (0.02 = 2%)")
 )
 
 // workers returns the experiment-level worker count from the flags:
@@ -125,13 +131,61 @@ func main() {
 	run(*exp == "compare", "compare", comparison)
 	run(*exp == "anecdotes", "anecdotes", anecdotes)
 	run(*exp == "mtu", "mtu", mtuSweep)
-	if !ran {
+	// A pure gate run (kernel/sched baselines) needs no figure selection.
+	if !ran && *baseline == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *metricsF {
+		printFleet("campaign fleet metrics", campaignMetrics.Fleet())
 	}
 	if *jsonOut {
 		writeBench()
 	}
+	if *baseline != "" {
+		runGate()
+	}
+}
+
+// runGate compares this run against each -baseline file and, with -gate,
+// fails the process on any regression past the threshold.
+func runGate() {
+	failed := false
+	for _, path := range strings.Split(*baseline, ",") {
+		f, err := bench.Load(strings.TrimSpace(path))
+		if err != nil {
+			log.Fatalf("baseline: %v", err)
+		}
+		var rep *bench.Report
+		switch f.Kind {
+		case bench.KindSweep:
+			rep = bench.CompareSweeps(f.Sweeps, currentSweepFile(), *gateThr)
+		case bench.KindKernel:
+			rep = bench.CompareKernel(f.Kernel)
+		case bench.KindSched:
+			rep = bench.CompareSched(f.Sched)
+		}
+		fmt.Printf("baseline %s (%s): %d measurements compared, %d regressions\n",
+			f.Path, f.Kind, rep.Compared, len(rep.Regressions))
+		for _, s := range rep.Skipped {
+			fmt.Printf("  skipped    %s\n", s)
+		}
+		for _, r := range rep.Regressions {
+			fmt.Printf("  REGRESSION %s\n", r)
+		}
+		if rep.Failed() {
+			failed = true
+		}
+	}
+	if !failed {
+		fmt.Println("regression gate: all baselines hold")
+		return
+	}
+	if *gateF {
+		fmt.Println("regression gate: FAILED")
+		os.Exit(1)
+	}
+	fmt.Println("regression gate: regressions found (advisory; pass -gate to enforce)")
 }
 
 // runChaos soaks the simulator in n randomized fault campaigns — scripted
@@ -212,9 +266,18 @@ func runTopology(path string) {
 		}
 	}
 
+	var fleet *telemetry.MetricsAccumulator
+	if *metricsF {
+		fleet = net.CollectMetrics(results)
+		printFleet("fleet metrics", fleet.Fleet())
+	}
+
 	if bundle != nil {
 		bundle.CaptureEngine(eng.Executed, eng.HighWater)
 		net.CaptureFabric(bundle)
+		// The metrics line is opt-in: without -metrics the bundle stays
+		// byte-identical to pre-metrics exports.
+		bundle.CaptureMetrics(fleet)
 		if err := core.WriteBundle(*telemDir, bundle); err != nil {
 			log.Fatalf("topology: %v", err)
 		}
@@ -251,34 +314,25 @@ func replayBundle(path string) {
 // sweep it performs lands in BENCH_sweep.json under the right id.
 var benchFigure string
 
-// benchSweep is one sweep's machine-readable summary. Wall-clock fields
-// live only here and in the human summary — never in the telemetry
-// exports, which must be byte-deterministic.
-type benchSweep struct {
-	Figure      string       `json:"figure"`
-	Label       string       `json:"label"`
-	Points      []benchPoint `json:"points"`
-	PeakPayload int          `json:"peak_payload"`
-	PeakGbps    float64      `json:"peak_gbps"`
-	WallMS      float64      `json:"wall_ms"`
-}
+// benchSweeps accumulates the run's machine-readable sweep summaries
+// (bench.Sweep — wall-clock fields live only there and in the human
+// summary, never in the telemetry exports, which must be
+// byte-deterministic). Recorded for -json and whenever a -baseline
+// comparison will need them.
+var benchSweeps []bench.Sweep
 
-type benchPoint struct {
-	Payload int     `json:"payload"`
-	Gbps    float64 `json:"gbps"`
-	WallMS  float64 `json:"wall_ms"`
-}
+// benchRecording reports whether sweeps should record bench summaries.
+func benchRecording() bool { return *jsonOut || *baseline != "" }
 
-var benchSweeps []benchSweep
-
-func recordBench(res *core.SweepResult, wall time.Duration) {
-	b := benchSweep{
-		Figure: benchFigure,
-		Label:  res.Label,
-		WallMS: float64(wall.Microseconds()) / 1e3,
+func recordBench(res *core.SweepResult, p core.Profile, wall time.Duration) {
+	b := bench.Sweep{
+		Figure:  benchFigure,
+		Label:   res.Label,
+		Profile: string(p),
+		WallMS:  float64(wall.Microseconds()) / 1e3,
 	}
 	for _, pt := range res.Points {
-		b.Points = append(b.Points, benchPoint{
+		b.Points = append(b.Points, bench.SweepPoint{
 			Payload: pt.Payload,
 			Gbps:    pt.Throughput.Gbps(),
 			WallMS:  float64(pt.Wall.Microseconds()) / 1e3,
@@ -290,10 +344,25 @@ func recordBench(res *core.SweepResult, wall time.Duration) {
 	benchSweeps = append(benchSweeps, b)
 }
 
+// currentSweepFile assembles this run's sweeps plus the metadata that makes
+// the file self-describing across PRs: scheduler, seed, resolution, and the
+// topology file when one drove the run.
+func currentSweepFile() *bench.SweepFile {
+	return &bench.SweepFile{
+		Meta: &bench.Meta{
+			Scheduler: sim.DefaultScheduler().String(),
+			Seed:      *seed,
+			Count:     count(),
+			Full:      *full,
+			Workers:   *nworkers,
+			Topology:  *topoFile,
+		},
+		Sweeps: benchSweeps,
+	}
+}
+
 func writeBench() {
-	data, err := json.MarshalIndent(struct {
-		Sweeps []benchSweep `json:"sweeps"`
-	}{benchSweeps}, "", "  ")
+	data, err := json.MarshalIndent(currentSweepFile(), "", "  ")
 	if err != nil {
 		log.Fatalf("bench json: %v", err)
 	}
@@ -323,13 +392,22 @@ func count() int {
 	return 3000
 }
 
+// campaignMetrics aggregates fleet metrics across every sweep of the
+// invocation (-metrics only). Per-sweep accumulators merge here in sweep
+// call order, which is fixed by the figure functions — deterministic.
+var campaignMetrics = telemetry.NewMetricsAccumulator()
+
 func sweep(p core.Profile, t core.Tuning) *core.SweepResult {
 	cfg := core.SweepConfig{
 		Seed: *seed, Profile: p, Tuning: t,
 		Payloads: payloads(), Count: count(), Workers: workers(),
+		Metrics: *metricsF,
 	}
 	if *telemDir != "" {
 		cfg.Telemetry = telemetry.Options{Enabled: true}
+	}
+	if *progress {
+		cfg.Progress = progressLine(t.Label())
 	}
 	start := time.Now()
 	res, err := cfg.Run()
@@ -347,10 +425,55 @@ func sweep(p core.Profile, t core.Tuning) *core.SweepResult {
 			}
 		}
 	}
-	if *jsonOut {
-		recordBench(res, wall)
+	if benchRecording() {
+		recordBench(res, p, wall)
+	}
+	if *metricsF {
+		if err := campaignMetrics.Merge(res.Metrics); err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
 	}
 	return res
+}
+
+// progressLine returns a SweepConfig.Progress hook that repaints one stderr
+// status line: points done, percent, elapsed, and an ETA extrapolated from
+// the mean point cost so far.
+func progressLine(label string) func(done, total int) {
+	start := time.Now()
+	return func(done, total int) {
+		elapsed := time.Since(start)
+		eta := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+		fmt.Fprintf(os.Stderr, "\r%-34s %d/%d points (%3.0f%%) elapsed %v ETA %v ",
+			label, done, total, 100*float64(done)/float64(total),
+			elapsed.Round(time.Millisecond), eta.Round(time.Millisecond))
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+}
+
+// printFleet renders a fleet-metrics result set as the -metrics report.
+func printFleet(title string, f *telemetry.FleetMetrics) {
+	if f == nil {
+		return
+	}
+	fmt.Printf("== %s ==\n", title)
+	fmt.Printf("flows %d, bytes %d, retransmits %d, fairness %.4f\n",
+		f.Flows, f.Bytes, f.Retransmits, f.Fairness)
+	fmt.Printf("FCT p50 %v  p90 %v  p99 %v  p99.9 %v  max %v\n",
+		units.Time(f.FCTP50), units.Time(f.FCTP90), units.Time(f.FCTP99),
+		units.Time(f.FCTP999), units.Time(f.FCTMax))
+	for _, c := range f.Classes {
+		fmt.Printf("class %-26s %6d flows  %14d bytes  %9.3f Gb/s aggregate\n",
+			c.Class, c.Flows, c.Bytes, c.GoodputGbps)
+	}
+	if f.Fabric.Nodes > 0 {
+		fmt.Printf("fabric %d nodes: forwarded %d, dropped %d (no-route %d, ttl %d, port %d), max queue %d B on %s\n",
+			f.Fabric.Nodes, f.Fabric.Forwarded, f.Fabric.Dropped, f.Fabric.NoRoute,
+			f.Fabric.TTLDrops, f.Fabric.PortDrops, f.Fabric.MaxQueued, f.Fabric.MaxQueuedLink)
+	}
+	fmt.Println()
 }
 
 // rowsString renders a sweep's result rows in a canonical form for the

@@ -54,6 +54,15 @@ type SweepConfig struct {
 	// the fault-injection port for the crash-containment tests (a hook that
 	// panics at a chosen payload) and is re-armed identically on replay.
 	PointHook func(payload int)
+	// Metrics, when true, folds every successful point into a fleet-level
+	// metrics accumulator on the result (FCT distribution, fairness,
+	// per-class goodput). The fold happens after the runs, in payload input
+	// order, so the accumulator is byte-identical for any worker count.
+	Metrics bool
+	// Progress, when set, is called after each point finishes with the count
+	// done so far — the hook behind live sweep status lines. Calls are
+	// serialized but may arrive out of payload order when Workers > 1.
+	Progress func(done, total int)
 }
 
 // DefaultPayloads returns the sweep grid: log-spaced across 128 B – 16 KB
@@ -90,6 +99,11 @@ type SweepResult struct {
 	Label  string
 	Series stats.Series
 	Points []Point
+	// Metrics is the fleet-level accumulator over the sweep's successful
+	// points (SweepConfig.Metrics only, nil otherwise). Each point
+	// contributes one flow record classed by the sweep label; sweeps merge
+	// into campaign-level accumulators with telemetry's Merge.
+	Metrics *telemetry.MetricsAccumulator
 }
 
 // Peak returns the best throughput and the payload it occurred at.
@@ -152,8 +166,8 @@ func (c SweepConfig) Run() (*SweepResult, error) {
 	)
 	if c.SkipFailures {
 		var errs []error
-		pts, walls, errs = runner.MapTimedAll(newWorkerEngine, c.Payloads,
-			NormalizeWorkers(c.Workers), c.Retries, runPoint)
+		pts, walls, errs = runner.MapTimedAllProgress(newWorkerEngine, c.Payloads,
+			NormalizeWorkers(c.Workers), c.Retries, c.Progress, runPoint)
 		for i, err := range errs {
 			if err == nil {
 				continue
@@ -171,8 +185,8 @@ func (c SweepConfig) Run() (*SweepResult, error) {
 		}
 	} else {
 		var err error
-		pts, walls, err = runner.MapTimedWith(newWorkerEngine, c.Payloads,
-			NormalizeWorkers(c.Workers), runPoint)
+		pts, walls, err = runner.MapTimedWithProgress(newWorkerEngine, c.Payloads,
+			NormalizeWorkers(c.Workers), c.Progress, runPoint)
 		if err != nil {
 			return nil, err
 		}
@@ -185,11 +199,24 @@ func (c SweepConfig) Run() (*SweepResult, error) {
 	}
 	res := &SweepResult{Label: c.Tuning.Label(), Points: pts}
 	res.Series.Name = res.Label
+	if c.Metrics {
+		res.Metrics = telemetry.NewMetricsAccumulator()
+	}
 	for _, pt := range pts {
 		if pt.Err != nil {
 			continue
 		}
 		res.Series.Add(float64(pt.Payload), pt.Throughput.Gbps())
+		// Folded here — input order, after the parallel section — so the
+		// accumulator never sees worker scheduling and stays byte-identical
+		// for any Workers value.
+		res.Metrics.RecordFlow(telemetry.FlowRecord{
+			Class:       res.Label,
+			Bytes:       pt.Bytes,
+			FCT:         pt.Elapsed,
+			Goodput:     pt.Throughput,
+			Retransmits: pt.Retransmits,
+		})
 	}
 	return res, nil
 }

@@ -171,12 +171,22 @@ func MapWith[S, T, R any](newState func(worker int) S, items []T, workers int, f
 // and reported as the run's error; the first failure in input order is
 // returned.
 func MapTimedWith[S, T, R any](newState func(worker int) S, items []T, workers int, f func(state S, i int, item T) (R, error)) ([]R, []time.Duration, error) {
+	return MapTimedWithProgress(newState, items, workers, nil, f)
+}
+
+// MapTimedWithProgress is MapTimedWith with a completion hook: progress (if
+// non-nil) is called after each item finishes with the count done so far and
+// the total. Calls are serialized under a mutex but may arrive out of input
+// order when workers > 1 — the hook drives live status lines, not result
+// handling, which still happens on the index-aligned return values.
+func MapTimedWithProgress[S, T, R any](newState func(worker int) S, items []T, workers int, progress func(done, total int), f func(state S, i int, item T) (R, error)) ([]R, []time.Duration, error) {
 	out := make([]R, len(items))
 	walls := make([]time.Duration, len(items))
 	errs := make([]error, len(items))
 	w := Options{Workers: workers}.workers(len(items))
 	states := make([]S, w)
 	inited := make([]bool, w)
+	tick := progressFunc(progress, len(items))
 	fan(len(items), w, func(worker, i int) {
 		if !inited[worker] {
 			states[worker] = newState(worker)
@@ -185,6 +195,7 @@ func MapTimedWith[S, T, R any](newState func(worker int) S, items []T, workers i
 		start := time.Now()
 		errs[i] = runGuarded(states[worker], i, items[i], f, out)
 		walls[i] = time.Since(start)
+		tick()
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -192,6 +203,22 @@ func MapTimedWith[S, T, R any](newState func(worker int) S, items []T, workers i
 		}
 	}
 	return out, walls, nil
+}
+
+// progressFunc wraps a user progress callback into a goroutine-safe tick, or
+// a no-op when the callback is nil so hot paths pay one comparison.
+func progressFunc(progress func(done, total int), total int) func() {
+	if progress == nil {
+		return func() {}
+	}
+	var mu sync.Mutex
+	done := 0
+	return func() {
+		mu.Lock()
+		done++
+		progress(done, total)
+		mu.Unlock()
+	}
 }
 
 // runGuarded executes one f call with panic containment, writing the output
@@ -214,12 +241,20 @@ func runGuarded[S, T, R any](state S, i int, item T, f func(state S, i int, item
 // after a captured panic the worker's reusable state is discarded and
 // rebuilt, since a crash mid-run can leave it arbitrarily corrupt.
 func MapTimedAll[S, T, R any](newState func(worker int) S, items []T, workers, retries int, f func(state S, i int, item T) (R, error)) ([]R, []time.Duration, []error) {
+	return MapTimedAllProgress(newState, items, workers, retries, nil, f)
+}
+
+// MapTimedAllProgress is MapTimedAll with the same completion hook as
+// MapTimedWithProgress: progress fires once per item after its final attempt,
+// whether it succeeded or exhausted its retries.
+func MapTimedAllProgress[S, T, R any](newState func(worker int) S, items []T, workers, retries int, progress func(done, total int), f func(state S, i int, item T) (R, error)) ([]R, []time.Duration, []error) {
 	out := make([]R, len(items))
 	walls := make([]time.Duration, len(items))
 	errs := make([]error, len(items))
 	w := Options{Workers: workers}.workers(len(items))
 	states := make([]S, w)
 	inited := make([]bool, w)
+	tick := progressFunc(progress, len(items))
 	fan(len(items), w, func(worker, i int) {
 		start := time.Now()
 		for attempt := 0; ; attempt++ {
@@ -240,6 +275,7 @@ func MapTimedAll[S, T, R any](newState func(worker int) S, items []T, workers, r
 			}
 		}
 		walls[i] = time.Since(start)
+		tick()
 	})
 	return out, walls, errs
 }

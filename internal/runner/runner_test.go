@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"tengig/internal/sim"
@@ -285,5 +286,74 @@ func TestEmptyAndWide(t *testing.T) {
 	rs := Run([]Spec{{Run: func() (any, error) { return 7, nil }}}, Options{Workers: 64})
 	if len(rs) != 1 || rs[0].Value.(int) != 7 {
 		t.Fatalf("wide pool mangled results: %+v", rs)
+	}
+}
+
+func TestMapTimedWithProgress(t *testing.T) {
+	items := make([]int, 25)
+	for i := range items {
+		items[i] = i
+	}
+	var seen []int
+	out, _, err := MapTimedWithProgress(
+		func(int) struct{} { return struct{}{} },
+		items, 4,
+		func(done, total int) {
+			seen = append(seen, done) // serialized by the runner's mutex
+			if total != len(items) {
+				t.Errorf("total = %d", total)
+			}
+		},
+		func(_ struct{}, i, item int) (int, error) { return item * 2, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*2 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	if len(seen) != len(items) {
+		t.Fatalf("progress fired %d times, want %d", len(seen), len(items))
+	}
+	for i, d := range seen {
+		if d != i+1 {
+			t.Fatalf("done counter not monotone: %v", seen)
+		}
+	}
+}
+
+// Progress must fire exactly once per item under MapTimedAllProgress, after
+// the item's final attempt — retried and failed items included.
+func TestMapTimedAllProgressCountsRetriedItems(t *testing.T) {
+	var attempts [6]int32
+	var fired int32
+	out, _, errs := MapTimedAllProgress(
+		func(int) struct{} { return struct{}{} },
+		[]int{0, 1, 2, 3, 4, 5}, 3, 2,
+		func(done, total int) {
+			atomic.AddInt32(&fired, 1)
+			if done < 1 || done > total || total != 6 {
+				t.Errorf("bad progress (%d/%d)", done, total)
+			}
+		},
+		func(_ struct{}, i, item int) (int, error) {
+			n := atomic.AddInt32(&attempts[i], 1)
+			if item == 2 && n < 3 {
+				return 0, fmt.Errorf("transient")
+			}
+			if item == 4 {
+				return 0, fmt.Errorf("permanent")
+			}
+			return item, nil
+		})
+	if fired != 6 {
+		t.Fatalf("progress fired %d times, want 6 (once per item)", fired)
+	}
+	if errs[4] == nil || errs[2] != nil {
+		t.Fatalf("retry/failure handling broke: %v", errs)
+	}
+	if out[2] != 2 {
+		t.Fatalf("retried item lost its value: %d", out[2])
 	}
 }

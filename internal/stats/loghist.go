@@ -1,0 +1,230 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// LogHistogram is an HDR-style log-bucketed histogram over non-negative
+// int64 values, built for fleet-scale aggregation: memory is bounded by the
+// bucket layout (a few KB) rather than the sample count, quantile queries
+// have a guaranteed relative error of 2^-subBits, and two histograms with
+// the same layout merge *exactly* — every field is an integer, so merging is
+// commutative, associative, and byte-deterministic regardless of how samples
+// were partitioned across workers. That determinism is what lets a
+// million-flow sweep aggregate per-worker histograms and still produce the
+// same result as a serial run.
+//
+// Bucket layout: values below 2^subBits land in unit-width buckets (exact);
+// a value v >= 2^subBits with floor(log2 v) = e lands in one of 2^subBits
+// sub-buckets of width 2^(e-subBits) spanning [2^e, 2^(e+1)). The layout is
+// a pure function of subBits, so any two histograms built with the same
+// subBits are mergeable; Merge rejects mismatched layouts.
+//
+// The intended domains are flow-completion times in picoseconds and byte
+// counts, both of which are naturally int64 in this codebase.
+type LogHistogram struct {
+	subBits  uint
+	subCount int64 // 1 << subBits
+
+	counts    []int64 // grown lazily to the highest touched bucket
+	total     int64
+	sum       int64 // exact; int64 so merges stay order-independent
+	min, max  int64
+	negatives int64 // samples below 0, clamped into bucket 0
+}
+
+// Log-histogram precision bounds: subBits in [1, 20] keeps the worst-case
+// bucket count (≈ (64-subBits) · 2^subBits) comfortably in memory.
+const (
+	MinLogSubBits = 1
+	MaxLogSubBits = 20
+)
+
+// NewLogHistogram builds a log-bucketed histogram whose quantiles carry a
+// relative error of at most 2^-subBits (subBits=7 → 0.79%).
+func NewLogHistogram(subBits int) (*LogHistogram, error) {
+	if subBits < MinLogSubBits || subBits > MaxLogSubBits {
+		return nil, fmt.Errorf("stats: log-histogram subBits %d out of range [%d, %d]",
+			subBits, MinLogSubBits, MaxLogSubBits)
+	}
+	return &LogHistogram{subBits: uint(subBits), subCount: 1 << subBits}, nil
+}
+
+// SubBits returns the layout parameter.
+func (h *LogHistogram) SubBits() int { return int(h.subBits) }
+
+// RelativeError returns the worst-case relative quantile error, 2^-subBits.
+func (h *LogHistogram) RelativeError() float64 {
+	return math.Ldexp(1, -int(h.subBits))
+}
+
+// index maps a non-negative value onto its bucket.
+func (h *LogHistogram) index(v int64) int {
+	if v < h.subCount {
+		return int(v)
+	}
+	e := 63 - bits.LeadingZeros64(uint64(v)) // floor(log2 v) >= subBits
+	sub := (v >> (uint(e) - h.subBits)) - h.subCount
+	return int((int64(e)-int64(h.subBits)+1)<<h.subBits + sub)
+}
+
+// BucketLow returns the lowest value mapping to bucket idx (the inverse of
+// index, and the value quantile queries report).
+func (h *LogHistogram) BucketLow(idx int) int64 {
+	if int64(idx) < h.subCount {
+		return int64(idx)
+	}
+	block := int64(idx) >> h.subBits // >= 1
+	within := int64(idx) & (h.subCount - 1)
+	if uint(block-1)+h.subBits+1 > 63 {
+		return math.MaxInt64 // one past the top representable bucket
+	}
+	return (h.subCount + within) << uint(block-1)
+}
+
+// Add records one sample. Negative values are clamped to zero and counted in
+// Negatives; the histogram's domain is durations and sizes, where a negative
+// is a caller bug worth surfacing without corrupting the distribution.
+func (h *LogHistogram) Add(v int64) { h.AddN(v, 1) }
+
+// AddN records n occurrences of v (n <= 0 is a no-op).
+func (h *LogHistogram) AddN(v int64, n int64) {
+	if n <= 0 {
+		return
+	}
+	if v < 0 {
+		h.negatives += n
+		v = 0
+	}
+	idx := h.index(v)
+	if idx >= len(h.counts) {
+		grown := make([]int64, idx+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[idx] += n
+	if h.total == 0 || v < h.min {
+		h.min = v
+	}
+	if h.total == 0 || v > h.max {
+		h.max = v
+	}
+	h.total += n
+	h.sum += v * n
+}
+
+// N returns the total sample count.
+func (h *LogHistogram) N() int64 { return h.total }
+
+// Negatives returns how many samples arrived below zero.
+func (h *LogHistogram) Negatives() int64 { return h.negatives }
+
+// Sum returns the exact sum of all recorded values (post-clamp).
+func (h *LogHistogram) Sum() int64 { return h.sum }
+
+// Mean returns the exact sample mean (0 with no samples).
+func (h *LogHistogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Min returns the smallest recorded value, exactly (0 with no samples).
+func (h *LogHistogram) Min() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded value, exactly (0 with no samples).
+func (h *LogHistogram) Max() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns the p-quantile (0 <= p <= 1) by nearest rank over the
+// bucket counts, reported as the bucket's lower edge — within RelativeError
+// of the true sample, and exact for values below 2^subBits. Returns 0 with
+// no samples.
+func (h *LogHistogram) Quantile(p float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.Min()
+	}
+	if p >= 1 {
+		return h.Max()
+	}
+	rank := int64(math.Ceil(p * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for idx, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			return h.BucketLow(idx)
+		}
+	}
+	return h.Max() // unreachable: counts always sum to total
+}
+
+// Merge folds other into h, exactly: counts, sum, total, and extremes all
+// combine as if every one of other's samples had been Added here. Histograms
+// with different layouts do not merge.
+func (h *LogHistogram) Merge(other *LogHistogram) error {
+	if other == nil || other.total == 0 && other.negatives == 0 {
+		return nil
+	}
+	if other.subBits != h.subBits {
+		return fmt.Errorf("stats: merging log-histograms with different layouts (subBits %d vs %d)",
+			h.subBits, other.subBits)
+	}
+	if len(other.counts) > len(h.counts) {
+		grown := make([]int64, len(other.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if other.total > 0 {
+		if h.total == 0 || other.min < h.min {
+			h.min = other.min
+		}
+		if h.total == 0 || other.max > h.max {
+			h.max = other.max
+		}
+	}
+	h.total += other.total
+	h.sum += other.sum
+	h.negatives += other.negatives
+	return nil
+}
+
+// Reset empties the histogram while keeping the bucket storage, so a pooled
+// accumulator costs nothing to reuse across runs.
+func (h *LogHistogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total, h.sum, h.min, h.max, h.negatives = 0, 0, 0, 0, 0
+}
+
+// EachBucket calls f for every non-empty bucket in value order with the
+// bucket's inclusive lower edge, exclusive upper edge, and count.
+func (h *LogHistogram) EachBucket(f func(lo, hi, count int64)) {
+	for idx, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		f(h.BucketLow(idx), h.BucketLow(idx+1), c)
+	}
+}

@@ -1,0 +1,247 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func mustLogHist(t *testing.T, subBits int) *LogHistogram {
+	t.Helper()
+	h, err := NewLogHistogram(subBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewLogHistogramValidation(t *testing.T) {
+	for _, bad := range []int{0, -1, MaxLogSubBits + 1} {
+		if _, err := NewLogHistogram(bad); err == nil {
+			t.Errorf("NewLogHistogram(%d) succeeded, want error", bad)
+		}
+	}
+	h := mustLogHist(t, 7)
+	if h.SubBits() != 7 {
+		t.Errorf("SubBits = %d", h.SubBits())
+	}
+	if want := 1.0 / 128; h.RelativeError() != want {
+		t.Errorf("RelativeError = %v, want %v", h.RelativeError(), want)
+	}
+}
+
+// The bucket mapping must tile [0, MaxInt64]: index is monotone, BucketLow
+// inverts it, and every value lands in a bucket whose width respects the
+// relative-error bound.
+func TestLogHistogramBucketLayout(t *testing.T) {
+	h := mustLogHist(t, 4)
+	// Exhaustive over the linear region and the first log octaves.
+	prev := -1
+	for v := int64(0); v < 4096; v++ {
+		idx := h.index(v)
+		if idx < prev {
+			t.Fatalf("index not monotone at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+		lo := h.BucketLow(idx)
+		hi := h.BucketLow(idx + 1)
+		if v < lo || v >= hi {
+			t.Fatalf("value %d outside its bucket [%d, %d)", v, lo, hi)
+		}
+		if lo >= 16 { // log region: width bounded by lo * 2^-subBits
+			if width := hi - lo; float64(width) > float64(lo)*h.RelativeError()+1e-9 {
+				t.Fatalf("bucket [%d, %d) width %d exceeds relative error bound", lo, hi, width)
+			}
+		}
+	}
+	// Spot-check huge values up to the int64 ceiling.
+	for _, v := range []int64{1 << 40, 1<<62 + 12345, math.MaxInt64} {
+		idx := h.index(v)
+		lo, hi := h.BucketLow(idx), h.BucketLow(idx+1)
+		// The very top bucket's upper edge clamps to MaxInt64 (2^63 is not
+		// representable), making it inclusive there.
+		if v < lo || (v >= hi && hi != math.MaxInt64) {
+			t.Fatalf("value %d outside its bucket [%d, %d)", v, lo, hi)
+		}
+	}
+}
+
+func TestLogHistogramQuantileAccuracy(t *testing.T) {
+	h := mustLogHist(t, 7)
+	rng := rand.New(rand.NewSource(1))
+	var xs []int64
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over ~9 decades, like FCTs from microseconds to hours.
+		v := int64(math.Exp(rng.Float64() * 21))
+		xs = append(xs, v)
+		h.Add(v)
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	for _, p := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := xs[int(math.Ceil(p*float64(len(xs))))-1]
+		got := h.Quantile(p)
+		if relErr := math.Abs(float64(got-exact)) / float64(exact); relErr > h.RelativeError() {
+			t.Errorf("p%g: got %d want %d (rel err %.4f > %.4f)",
+				p*100, got, exact, relErr, h.RelativeError())
+		}
+	}
+	if h.Quantile(0) != h.Min() || h.Quantile(1) != h.Max() {
+		t.Error("p0/p100 should be exact min/max")
+	}
+	mean := float64(h.Sum()) / float64(h.N())
+	if h.Mean() != mean {
+		t.Errorf("mean = %v want %v", h.Mean(), mean)
+	}
+}
+
+func TestLogHistogramSmallValuesExact(t *testing.T) {
+	h := mustLogHist(t, 7)
+	for v := int64(0); v < 128; v++ {
+		h.Add(v)
+	}
+	// Linear-region buckets have unit width: quantiles are exact.
+	if got := h.Quantile(0.5); got != 63 {
+		t.Errorf("median = %d, want 63", got)
+	}
+	if h.Min() != 0 || h.Max() != 127 {
+		t.Errorf("min/max = %d/%d", h.Min(), h.Max())
+	}
+}
+
+func TestLogHistogramNegatives(t *testing.T) {
+	h := mustLogHist(t, 4)
+	h.Add(-5)
+	h.Add(3)
+	if h.Negatives() != 1 || h.N() != 2 {
+		t.Errorf("negatives/n = %d/%d", h.Negatives(), h.N())
+	}
+	if h.Min() != 0 { // clamped
+		t.Errorf("min = %d", h.Min())
+	}
+}
+
+func TestLogHistogramEmpty(t *testing.T) {
+	h := mustLogHist(t, 7)
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.N() != 0 {
+		t.Error("empty histogram should be all zeros")
+	}
+}
+
+// Property: merging partitioned histograms is exactly equivalent to adding
+// every sample to one histogram — counts, extremes, sum, quantiles, all of
+// it. This is the contract that makes fleet aggregation across workers safe.
+func TestLogHistogramMergeProperty(t *testing.T) {
+	f := func(a, b []uint32, p float64) bool {
+		ha := mustLogHist(t, 6)
+		hb := mustLogHist(t, 6)
+		all := mustLogHist(t, 6)
+		for _, x := range a {
+			ha.Add(int64(x))
+			all.Add(int64(x))
+		}
+		for _, x := range b {
+			hb.Add(int64(x))
+			all.Add(int64(x))
+		}
+		if err := ha.Merge(hb); err != nil {
+			t.Fatal(err)
+		}
+		p = math.Abs(math.Mod(p, 1))
+		return ha.N() == all.N() && ha.Sum() == all.Sum() &&
+			ha.Min() == all.Min() && ha.Max() == all.Max() &&
+			ha.Quantile(p) == all.Quantile(p) &&
+			ha.Quantile(0.5) == all.Quantile(0.5) &&
+			ha.Quantile(0.999) == all.Quantile(0.999)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Merge-order determinism: split one sample stream into k shards, merge the
+// shard histograms in every permutation of a random order, and require the
+// results byte-equivalent (every observable equal). All state is integer, so
+// this must hold exactly — the property that lets parallel sweeps merge
+// per-worker accumulators without caring which worker saw which flow.
+func TestLogHistogramMergeOrderDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const shards = 5
+	parts := make([][]int64, shards)
+	for i := 0; i < 5000; i++ {
+		v := int64(rng.ExpFloat64() * 1e9)
+		s := rng.Intn(shards)
+		parts[s] = append(parts[s], v)
+	}
+	build := func(order []int) *LogHistogram {
+		out := mustLogHist(t, 7)
+		for _, s := range order {
+			sh := mustLogHist(t, 7)
+			for _, v := range parts[s] {
+				sh.Add(v)
+			}
+			if err := out.Merge(sh); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return out
+	}
+	ref := build([]int{0, 1, 2, 3, 4})
+	for trial := 0; trial < 20; trial++ {
+		order := rng.Perm(shards)
+		got := build(order)
+		if got.N() != ref.N() || got.Sum() != ref.Sum() ||
+			got.Min() != ref.Min() || got.Max() != ref.Max() {
+			t.Fatalf("order %v: aggregates diverged", order)
+		}
+		for _, p := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 0.999} {
+			if got.Quantile(p) != ref.Quantile(p) {
+				t.Fatalf("order %v: p%g differs: %d vs %d", order, p*100, got.Quantile(p), ref.Quantile(p))
+			}
+		}
+	}
+}
+
+func TestLogHistogramMergeLayoutMismatch(t *testing.T) {
+	a := mustLogHist(t, 6)
+	b := mustLogHist(t, 7)
+	b.Add(1)
+	if err := a.Merge(b); err == nil {
+		t.Error("layout mismatch merged without error")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("nil merge: %v", err)
+	}
+}
+
+func TestLogHistogramReset(t *testing.T) {
+	h := mustLogHist(t, 7)
+	for i := int64(1); i < 1000; i++ {
+		h.Add(i * 1000)
+	}
+	h.Reset()
+	if h.N() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("reset histogram not empty")
+	}
+	h.Add(42)
+	if h.N() != 1 || h.Quantile(0.5) != 42 {
+		t.Error("reset histogram unusable")
+	}
+}
+
+func TestLogHistogramEachBucket(t *testing.T) {
+	h := mustLogHist(t, 4)
+	h.Add(3)
+	h.AddN(100, 5)
+	var total int64
+	h.EachBucket(func(lo, hi, count int64) {
+		if lo > 100 || hi <= lo {
+			t.Errorf("bad bucket [%d, %d)", lo, hi)
+		}
+		total += count
+	})
+	if total != 6 {
+		t.Errorf("bucket counts sum to %d, want 6", total)
+	}
+}

@@ -114,6 +114,17 @@ func (q *Quantiler) Add(x float64) {
 // N returns the sample count.
 func (q *Quantiler) N() int { return len(q.xs) }
 
+// Merge folds other's samples into q. Because quantile queries sort on
+// demand, a merged quantiler answers exactly as if every sample had been
+// Added to q directly, in any order.
+func (q *Quantiler) Merge(other *Quantiler) {
+	if other == nil || len(other.xs) == 0 {
+		return
+	}
+	q.xs = append(q.xs, other.xs...)
+	q.sorted = false
+}
+
 // Quantile returns the p-quantile (0 <= p <= 1) using nearest-rank on the
 // sorted samples. Returns 0 with no samples.
 func (q *Quantiler) Quantile(p float64) float64 {
@@ -153,12 +164,14 @@ type Histogram struct {
 	populated bool
 }
 
-// NewHistogram builds a histogram with n equal bins spanning [lo, hi).
-func NewHistogram(lo, hi float64, n int) *Histogram {
+// NewHistogram builds a histogram with n equal bins spanning [lo, hi). An
+// invalid shape (no bins, empty or inverted range) is a configuration error
+// reported to the caller, not a panic.
+func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
 	if n <= 0 || hi <= lo {
-		panic("stats: invalid histogram shape")
+		return nil, fmt.Errorf("stats: invalid histogram shape [%g, %g) with %d bins", lo, hi, n)
 	}
-	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(n), bins: make([]int64, n)}
+	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(n), bins: make([]int64, n)}, nil
 }
 
 // Add records one sample.
@@ -201,6 +214,28 @@ func (h *Histogram) Mean() float64 {
 		return 0
 	}
 	return h.sum / float64(h.total)
+}
+
+// Merge folds other into h as if every one of other's samples had been
+// Added here. Only histograms with identical shape — the same range and bin
+// count — merge; anything else would silently misbin.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other == nil {
+		return nil
+	}
+	if other.lo != h.lo || other.hi != h.hi || len(other.bins) != len(h.bins) {
+		return fmt.Errorf("stats: merging histograms with different shapes ([%g, %g)×%d vs [%g, %g)×%d)",
+			h.lo, h.hi, len(h.bins), other.lo, other.hi, len(other.bins))
+	}
+	for i, c := range other.bins {
+		h.bins[i] += c
+	}
+	h.under += other.under
+	h.over += other.over
+	h.total += other.total
+	h.sum += other.sum
+	h.populated = h.populated || other.populated
+	return nil
 }
 
 // Series records (x, y) points, e.g. payload size vs throughput — the shape

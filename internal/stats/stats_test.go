@@ -139,7 +139,10 @@ func TestQuantileMonotoneProperty(t *testing.T) {
 }
 
 func TestHistogram(t *testing.T) {
-	h := NewHistogram(0, 10, 10)
+	h, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 10; i++ {
 		h.Add(float64(i) + 0.5)
 	}
@@ -169,18 +172,28 @@ func TestHistogram(t *testing.T) {
 }
 
 func TestHistogramInvalidShape(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
+	for _, c := range []struct {
+		lo, hi float64
+		n      int
+	}{
+		{5, 5, 10},  // empty range
+		{5, 4, 10},  // inverted range
+		{0, 10, 0},  // no bins
+		{0, 10, -3}, // negative bins
+	} {
+		if h, err := NewHistogram(c.lo, c.hi, c.n); err == nil {
+			t.Errorf("NewHistogram(%g, %g, %d) = %v, want error", c.lo, c.hi, c.n, h)
 		}
-	}()
-	NewHistogram(5, 5, 10)
+	}
 }
 
 // Property: every histogram sample is accounted for exactly once.
 func TestHistogramConservationProperty(t *testing.T) {
 	f := func(xs []float64) bool {
-		h := NewHistogram(-100, 100, 37)
+		h, err := NewHistogram(-100, 100, 37)
+		if err != nil {
+			t.Fatal(err)
+		}
 		n := int64(0)
 		for _, x := range xs {
 			if math.IsNaN(x) {
@@ -236,6 +249,93 @@ func TestSeriesEmpty(t *testing.T) {
 	x, y := s.PeakY()
 	if x != 0 || y != 0 || s.MeanY() != 0 || s.MinY() != 0 || s.YAt(5) != 0 || s.MeanYOver(0) != 0 {
 		t.Error("empty series should return zeros")
+	}
+}
+
+// Property: merging two fixed-bin histograms equals adding all samples to
+// one. Counts are integers, so the equality is exact; sums use samples with
+// exact float64 representations so they are exact too.
+func TestHistogramMergeProperty(t *testing.T) {
+	f := func(a, b []int16) bool {
+		mk := func() *Histogram {
+			h, err := NewHistogram(-100, 100, 37)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return h
+		}
+		ha, hb, all := mk(), mk(), mk()
+		for _, x := range a {
+			ha.Add(float64(x))
+			all.Add(float64(x))
+		}
+		for _, x := range b {
+			hb.Add(float64(x))
+			all.Add(float64(x))
+		}
+		if err := ha.Merge(hb); err != nil {
+			t.Fatal(err)
+		}
+		if ha.Total() != all.Total() || ha.Mean() != all.Mean() {
+			return false
+		}
+		au, ao := ha.Outliers()
+		bu, bo := all.Outliers()
+		if au != bu || ao != bo {
+			return false
+		}
+		for i := 0; i < ha.Bins(); i++ {
+			if ha.Count(i) != all.Count(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramMergeShapeMismatch(t *testing.T) {
+	a, _ := NewHistogram(0, 10, 10)
+	b, _ := NewHistogram(0, 10, 20)
+	c, _ := NewHistogram(0, 20, 10)
+	if err := a.Merge(b); err == nil {
+		t.Error("bin-count mismatch merged without error")
+	}
+	if err := a.Merge(c); err == nil {
+		t.Error("range mismatch merged without error")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("nil merge: %v", err)
+	}
+}
+
+// Property: a merged quantiler answers every quantile exactly like one that
+// saw all samples directly.
+func TestQuantilerMergeProperty(t *testing.T) {
+	f := func(a, b []float64, p float64) bool {
+		var qa, qb, all Quantiler
+		add := func(q *Quantiler, xs []float64) {
+			for _, x := range xs {
+				if math.IsNaN(x) {
+					continue
+				}
+				q.Add(x)
+				all.Add(x)
+			}
+		}
+		add(&qa, a)
+		add(&qb, b)
+		qa.Merge(&qb)
+		if qa.N() != all.N() {
+			return false
+		}
+		p = math.Abs(math.Mod(p, 1))
+		return qa.Quantile(p) == all.Quantile(p) && qa.Median() == all.Median()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
 	}
 }
 

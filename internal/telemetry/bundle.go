@@ -49,10 +49,21 @@ type Bundle struct {
 	// topology's switch declaration order). Empty for switchless runs.
 	Fabric []FabricCounters
 
+	// Metrics is the run's fleet-level result set (FCT percentiles,
+	// fairness, per-class goodput, fabric summary), exported as a "metrics"
+	// line after the engine footer. Nil — and absent from every export —
+	// for runs without a metrics sink, so pre-metrics bundles are unchanged
+	// byte-for-byte.
+	Metrics *FleetMetrics
+
 	// Wall is the host wall-clock time the run took. It is deliberately
 	// excluded from the JSONL/CSV exports, which must be byte-deterministic
 	// across runs; it appears only in the human summary.
 	Wall time.Duration
+
+	// UnknownLines counts JSONL records ParseJSONL skipped because their
+	// type postdates this reader — forward compatibility, not an error.
+	UnknownLines int
 
 	opt Options
 }
@@ -93,4 +104,11 @@ func (b *Bundle) CaptureEngine(events uint64, highWater int) {
 // after the run, in a deterministic (declaration) order.
 func (b *Bundle) CaptureFabric(fc FabricCounters) {
 	b.Fabric = append(b.Fabric, fc)
+}
+
+// CaptureMetrics attaches the fleet-level result set rendered from a metrics
+// accumulator (call once, after the run). A nil or empty accumulator leaves
+// the bundle without a metrics line.
+func (b *Bundle) CaptureMetrics(m *MetricsAccumulator) {
+	b.Metrics = m.Fleet()
 }

@@ -59,6 +59,11 @@ type fabricLine struct {
 	FabricCounters
 }
 
+type metricsLine struct {
+	Type string `json:"type"` // "metrics"
+	FleetMetrics
+}
+
 // WriteJSONL writes the bundle as JSON lines.
 func (b *Bundle) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
@@ -100,6 +105,15 @@ func (b *Bundle) WriteJSONL(w io.Writer) error {
 	// record type existed.
 	for _, fc := range b.Fabric {
 		if err := enc(fabricLine{Type: "fabric", FabricCounters: fc}); err != nil {
+			return err
+		}
+	}
+	// The fleet-metrics line comes last, after the engine footer and fabric
+	// counters, for the same reason: bundles without a metrics sink — every
+	// pinned golden digest among them — export byte-identically to before
+	// the record type existed.
+	if b.Metrics != nil {
+		if err := enc(metricsLine{Type: "metrics", FleetMetrics: *b.Metrics}); err != nil {
 			return err
 		}
 	}
@@ -145,6 +159,9 @@ func (b *Bundle) ExportCSV() []byte {
 
 // ParseJSONL reconstructs a bundle from its JSONL export — the read half of
 // the machine-readable contract, used by tests and downstream tooling.
+// Record types this reader does not know are skipped (and counted in
+// Bundle.UnknownLines) rather than rejected, so older tooling keeps parsing
+// exports that grew new line types.
 func ParseJSONL(data []byte) (*Bundle, error) {
 	b := &Bundle{opt: Options{MaxSamples: 1 << 30, MaxEvents: 1 << 30}}
 	var typ struct {
@@ -203,8 +220,19 @@ func ParseJSONL(data []byte) (*Bundle, error) {
 				return nil, err
 			}
 			b.Fabric = append(b.Fabric, f.FabricCounters)
+		case "metrics":
+			var m metricsLine
+			if err := json.Unmarshal(line, &m); err != nil {
+				return nil, err
+			}
+			fm := m.FleetMetrics
+			b.Metrics = &fm
 		default:
-			return nil, fmt.Errorf("telemetry: line %d: unknown record type %q", ln+1, typ.Type)
+			// Unknown record types are tolerated (counted, not fatal): a
+			// reader built before a line type existed must still parse the
+			// rest of the export, the same forward-compatibility contract
+			// the fabric and metrics lines rely on.
+			b.UnknownLines++
 		}
 	}
 	return b, nil
@@ -247,6 +275,22 @@ func (b *Bundle) Summary() string {
 		for _, ps := range fc.Ports {
 			fmt.Fprintf(&sb, "    port %-24s fwd %d (%d B)  drops %d  max-queued %d B\n",
 				ps.Link, ps.Forwarded, ps.Bytes, ps.Drops, ps.MaxQueued)
+		}
+	}
+	if m := b.Metrics; m != nil {
+		fmt.Fprintf(&sb, "  fleet: %d flows, %d B, retrans %d, fairness %.4f\n",
+			m.Flows, m.Bytes, m.Retransmits, m.Fairness)
+		fmt.Fprintf(&sb, "    fct   p50 %v  p90 %v  p99 %v  p999 %v  max %v\n",
+			units.Time(m.FCTP50), units.Time(m.FCTP90), units.Time(m.FCTP99),
+			units.Time(m.FCTP999), units.Time(m.FCTMax))
+		for _, c := range m.Classes {
+			fmt.Fprintf(&sb, "    class %-12s %d flows  %d B  %.3f Gb/s\n",
+				c.Class, c.Flows, c.Bytes, c.GoodputGbps)
+		}
+		if m.Fabric.Nodes > 0 {
+			fmt.Fprintf(&sb, "    fabric %d nodes: fwd %d  drops %d (port %d)  max-queued %d B on %s\n",
+				m.Fabric.Nodes, m.Fabric.Forwarded, m.Fabric.Dropped,
+				m.Fabric.PortDrops, m.Fabric.MaxQueued, m.Fabric.MaxQueuedLink)
 		}
 	}
 	fmt.Fprintf(&sb, "  engine: %d events executed, queue high-water %d\n",

@@ -98,8 +98,11 @@ func TestParseJSONLRejectsBadInput(t *testing.T) {
 	if _, err := ParseJSONL([]byte(`{"type":"meta","schema":"bogus/v9"}`)); err == nil {
 		t.Fatal("wrong schema version should fail")
 	}
-	if _, err := ParseJSONL([]byte(`{"type":"mystery"}`)); err == nil {
-		t.Fatal("unknown record type should fail")
+	// Unknown record types are skipped (forward compatibility), not errors.
+	if b, err := ParseJSONL([]byte(`{"type":"mystery"}`)); err != nil {
+		t.Fatalf("unknown record type should be tolerated: %v", err)
+	} else if b.UnknownLines != 1 {
+		t.Fatalf("UnknownLines = %d, want 1", b.UnknownLines)
 	}
 	if _, err := ParseJSONL([]byte("not json")); err == nil {
 		t.Fatal("malformed line should fail")

@@ -1,0 +1,261 @@
+// Fleet-scale metrics: where ConnRecorder watches one connection's state
+// variables evolve, the metrics sink aggregates *across* flows — the
+// flow-completion-time distribution, fairness, per-class goodput, and fabric
+// queue health a million-flow campaign is judged by. Per-flow records stream
+// into bounded accumulators (log-bucketed histograms plus integer counters),
+// so memory never scales with flow count; accumulators built on different
+// workers Merge exactly, provided callers merge in a deterministic order
+// (the float goodput sums are exact under a fixed merge order, and the
+// histogram/counter state is exact under any order).
+package telemetry
+
+import (
+	"sort"
+
+	"tengig/internal/stats"
+	"tengig/internal/units"
+)
+
+// fctSubBits fixes the FCT histogram layout: 2^-7 ≈ 0.8% relative quantile
+// error, a few KB of buckets across the picosecond-to-hours range. The value
+// is part of the merge contract — all accumulators share it.
+const fctSubBits = 7
+
+// DefaultClass labels flows whose workload declared no traffic class.
+const DefaultClass = "bulk"
+
+// FlowRecord is one completed flow's contribution to the fleet metrics.
+type FlowRecord struct {
+	// Class is the traffic class ("" means DefaultClass).
+	Class string
+	// Bytes delivered to the receiving application.
+	Bytes int64
+	// FCT is the flow-completion time (first write to last byte consumed).
+	FCT units.Time
+	// Goodput is the application-visible rate over FCT.
+	Goodput units.Bandwidth
+	// Retransmits at the sender.
+	Retransmits int64
+}
+
+// classAcc aggregates one traffic class.
+type classAcc struct {
+	flows   int64
+	bytes   int64
+	goodput float64 // sum of per-flow goodput, Gb/s
+}
+
+// MetricsAccumulator streams FlowRecords into mergeable aggregates. A nil
+// *MetricsAccumulator is valid and records nothing — the disabled path costs
+// one nil check and zero allocations, the same discipline as ConnRecorder
+// and trace.Tracer. Like the simulation it observes, an accumulator is
+// single-goroutine; cross-worker aggregation happens by merging accumulators
+// afterward, in input order.
+type MetricsAccumulator struct {
+	fct *stats.LogHistogram // picoseconds
+
+	flows   int64
+	bytes   int64
+	retrans int64
+
+	// Jain's fairness terms over per-flow goodput (Gb/s).
+	goodputSum, goodputSq float64
+
+	classes map[string]*classAcc
+
+	fabric FabricSummary
+}
+
+// NewMetricsAccumulator builds an empty sink.
+func NewMetricsAccumulator() *MetricsAccumulator {
+	h, err := stats.NewLogHistogram(fctSubBits)
+	if err != nil {
+		panic("telemetry: bad fctSubBits: " + err.Error()) // compile-time constant
+	}
+	return &MetricsAccumulator{fct: h, classes: make(map[string]*classAcc)}
+}
+
+// RecordFlow streams one completed flow into the aggregates. Safe on a nil
+// receiver (records nothing, allocates nothing).
+func (m *MetricsAccumulator) RecordFlow(r FlowRecord) {
+	if m == nil {
+		return
+	}
+	class := r.Class
+	if class == "" {
+		class = DefaultClass
+	}
+	m.fct.Add(int64(r.FCT))
+	m.flows++
+	m.bytes += r.Bytes
+	m.retrans += r.Retransmits
+	g := r.Goodput.Gbps()
+	m.goodputSum += g
+	m.goodputSq += g * g
+	c := m.classes[class]
+	if c == nil {
+		c = &classAcc{}
+		m.classes[class] = c
+	}
+	c.flows++
+	c.bytes += r.Bytes
+	c.goodput += g
+}
+
+// AddFabric folds one forwarding node's counters into the fleet's fabric
+// summary. Call per switch, after the run, in declaration order.
+func (m *MetricsAccumulator) AddFabric(fc FabricCounters) {
+	if m == nil {
+		return
+	}
+	m.fabric.Nodes++
+	m.fabric.Forwarded += fc.Forwarded
+	m.fabric.Dropped += fc.Dropped
+	m.fabric.NoRoute += fc.NoRoute
+	m.fabric.TTLDrops += fc.TTLDrops
+	for _, ps := range fc.Ports {
+		m.fabric.PortDrops += ps.Drops
+		if ps.MaxQueued > m.fabric.MaxQueued {
+			m.fabric.MaxQueued = ps.MaxQueued
+			m.fabric.MaxQueuedLink = ps.Link
+		}
+	}
+}
+
+// Flows returns the number of flows recorded so far.
+func (m *MetricsAccumulator) Flows() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.flows
+}
+
+// Merge folds other into m as if every record had been streamed here. The
+// integer and histogram state merges exactly in any order; the goodput sums
+// are float64, so callers needing byte-determinism must merge accumulators
+// in a fixed order (the runner's input order is the convention).
+func (m *MetricsAccumulator) Merge(other *MetricsAccumulator) error {
+	if m == nil || other == nil {
+		return nil
+	}
+	if err := m.fct.Merge(other.fct); err != nil {
+		return err
+	}
+	m.flows += other.flows
+	m.bytes += other.bytes
+	m.retrans += other.retrans
+	m.goodputSum += other.goodputSum
+	m.goodputSq += other.goodputSq
+	for name, oc := range other.classes {
+		c := m.classes[name]
+		if c == nil {
+			c = &classAcc{}
+			m.classes[name] = c
+		}
+		c.flows += oc.flows
+		c.bytes += oc.bytes
+		c.goodput += oc.goodput
+	}
+	m.fabric.Nodes += other.fabric.Nodes
+	m.fabric.Forwarded += other.fabric.Forwarded
+	m.fabric.Dropped += other.fabric.Dropped
+	m.fabric.NoRoute += other.fabric.NoRoute
+	m.fabric.TTLDrops += other.fabric.TTLDrops
+	m.fabric.PortDrops += other.fabric.PortDrops
+	if other.fabric.MaxQueued > m.fabric.MaxQueued {
+		m.fabric.MaxQueued = other.fabric.MaxQueued
+		m.fabric.MaxQueuedLink = other.fabric.MaxQueuedLink
+	}
+	return nil
+}
+
+// ClassMetrics is one traffic class's aggregate in the exported line.
+type ClassMetrics struct {
+	Class string `json:"class"`
+	Flows int64  `json:"flows"`
+	Bytes int64  `json:"bytes"`
+	// GoodputGbps is the sum of per-flow goodput — the class's aggregate
+	// rate when the flows ran concurrently.
+	GoodputGbps float64 `json:"goodput_gbps"`
+}
+
+// FabricSummary aggregates the fabric's queue and drop health across every
+// forwarding node: total drops by cause, and the single deepest output queue
+// observed anywhere (with the port that hit it).
+type FabricSummary struct {
+	Nodes         int64  `json:"nodes,omitempty"`
+	Forwarded     int64  `json:"forwarded,omitempty"`
+	Dropped       int64  `json:"dropped,omitempty"`
+	NoRoute       int64  `json:"no_route,omitempty"`
+	TTLDrops      int64  `json:"ttl_drops,omitempty"`
+	PortDrops     int64  `json:"port_drops,omitempty"`
+	MaxQueued     int64  `json:"max_queued,omitempty"`
+	MaxQueuedLink string `json:"max_queued_link,omitempty"`
+}
+
+// FleetMetrics is the exported fleet-level result set — the "metrics" JSONL
+// line. All simulated-time fields are picoseconds; nothing here depends on
+// host wall time, so the line is byte-deterministic.
+type FleetMetrics struct {
+	Flows       int64 `json:"flows"`
+	Bytes       int64 `json:"bytes"`
+	Retransmits int64 `json:"retrans"`
+
+	// Flow-completion-time distribution, picoseconds. Quantiles carry the
+	// log-histogram's bounded relative error (2^-7); mean/min/max are exact.
+	FCTP50  int64 `json:"fct_p50_ps"`
+	FCTP90  int64 `json:"fct_p90_ps"`
+	FCTP99  int64 `json:"fct_p99_ps"`
+	FCTP999 int64 `json:"fct_p999_ps"`
+	FCTMean int64 `json:"fct_mean_ps"`
+	FCTMin  int64 `json:"fct_min_ps"`
+	FCTMax  int64 `json:"fct_max_ps"`
+
+	// Fairness is Jain's index over per-flow goodput: 1.0 = perfectly fair,
+	// 1/n = one flow took everything.
+	Fairness float64 `json:"fairness"`
+
+	// Classes lists per-traffic-class aggregates, sorted by class name so
+	// the export order never depends on map iteration.
+	Classes []ClassMetrics `json:"classes,omitempty"`
+
+	// Fabric summarizes switch-port queue/drop health (zero for switchless
+	// runs, omitted field-by-field).
+	Fabric FabricSummary `json:"fabric"`
+}
+
+// Fleet renders the accumulated state as the exportable fleet-level result
+// set. Returns nil on a nil or empty accumulator (no flows and no fabric).
+func (m *MetricsAccumulator) Fleet() *FleetMetrics {
+	if m == nil || (m.flows == 0 && m.fabric.Nodes == 0) {
+		return nil
+	}
+	f := &FleetMetrics{
+		Flows:       m.flows,
+		Bytes:       m.bytes,
+		Retransmits: m.retrans,
+		FCTP50:      m.fct.Quantile(0.50),
+		FCTP90:      m.fct.Quantile(0.90),
+		FCTP99:      m.fct.Quantile(0.99),
+		FCTP999:     m.fct.Quantile(0.999),
+		FCTMean:     int64(m.fct.Mean()),
+		FCTMin:      m.fct.Min(),
+		FCTMax:      m.fct.Max(),
+		Fabric:      m.fabric,
+	}
+	if m.flows > 0 && m.goodputSq > 0 {
+		f.Fairness = (m.goodputSum * m.goodputSum) / (float64(m.flows) * m.goodputSq)
+	}
+	names := make([]string, 0, len(m.classes))
+	for name := range m.classes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := m.classes[name]
+		f.Classes = append(f.Classes, ClassMetrics{
+			Class: name, Flows: c.flows, Bytes: c.bytes, GoodputGbps: c.goodput,
+		})
+	}
+	return f
+}

@@ -1,0 +1,297 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tengig/internal/units"
+)
+
+// flowRecord fabricates one flow. Goodput is an integer number of Gb/s on
+// purpose: small-integer float64 sums are exact under any association, so
+// the tests can demand byte-identical results from per-worker merges versus
+// one sequential accumulator. (Real runs get the same guarantee by folding
+// flow records in input order — see MetricsAccumulator.Merge.)
+func flowRecord(rng *rand.Rand, class string) FlowRecord {
+	return FlowRecord{
+		Class:       class,
+		Bytes:       int64(rng.Intn(1<<20) + 1),
+		FCT:         units.Time(rng.Intn(1e9) + 1000),
+		Goodput:     units.Bandwidth(rng.Intn(40)+1) * units.GbitPerSecond,
+		Retransmits: int64(rng.Intn(5)),
+	}
+}
+
+func TestMetricsAccumulatorBasics(t *testing.T) {
+	m := NewMetricsAccumulator()
+	// Two perfectly fair flows: Jain's index must be exactly 1.
+	for i := 0; i < 2; i++ {
+		m.RecordFlow(FlowRecord{Bytes: 1000, FCT: units.Millisecond,
+			Goodput: units.Throughput(1000, units.Millisecond)})
+	}
+	f := m.Fleet()
+	if f == nil {
+		t.Fatal("nil fleet")
+	}
+	if f.Flows != 2 || f.Bytes != 2000 {
+		t.Errorf("flows/bytes = %d/%d", f.Flows, f.Bytes)
+	}
+	if f.Fairness != 1.0 {
+		t.Errorf("fairness = %v, want exactly 1", f.Fairness)
+	}
+	if f.FCTMin != int64(units.Millisecond) || f.FCTMax != int64(units.Millisecond) {
+		t.Errorf("fct min/max = %d/%d", f.FCTMin, f.FCTMax)
+	}
+	if len(f.Classes) != 1 || f.Classes[0].Class != DefaultClass {
+		t.Errorf("classes = %+v, want one %q entry", f.Classes, DefaultClass)
+	}
+}
+
+func TestMetricsFairnessSkew(t *testing.T) {
+	m := NewMetricsAccumulator()
+	// One flow hogs everything: Jain over n flows where one has rate r and
+	// the rest 0 is 1/n.
+	m.RecordFlow(FlowRecord{Bytes: 1 << 20, FCT: units.Millisecond,
+		Goodput: units.Throughput(1<<20, units.Millisecond)})
+	for i := 0; i < 3; i++ {
+		m.RecordFlow(FlowRecord{Bytes: 0, FCT: units.Second, Goodput: 0})
+	}
+	if f := m.Fleet(); f.Fairness != 0.25 {
+		t.Errorf("fairness = %v, want 0.25", f.Fairness)
+	}
+}
+
+// A nil accumulator — metrics disabled — must record for free: no
+// allocations, no state.
+func TestMetricsDisabledZeroAlloc(t *testing.T) {
+	var m *MetricsAccumulator
+	rec := FlowRecord{Class: "rpc", Bytes: 4096, FCT: units.Microsecond,
+		Goodput: units.Throughput(4096, units.Microsecond), Retransmits: 1}
+	fc := FabricCounters{Node: "sw", Forwarded: 10,
+		Ports: []FabricPortCounters{{Link: "l", Drops: 1, MaxQueued: 9000}}}
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.RecordFlow(rec)
+		m.AddFabric(fc)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled metrics allocated %.1f times per record (want 0)", allocs)
+	}
+	if m.Fleet() != nil || m.Flows() != 0 {
+		t.Error("nil accumulator should report nothing")
+	}
+	if err := m.Merge(NewMetricsAccumulator()); err != nil {
+		t.Errorf("nil merge: %v", err)
+	}
+}
+
+// Merged per-worker accumulators must render the same FleetMetrics as one
+// accumulator that saw every record — byte-identical JSON when the merge
+// order is fixed.
+func TestMetricsMergeEqualsSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	classes := []string{"bulk", "rpc", "mice", ""}
+	const workers = 4
+	var records [][]FlowRecord
+	serial := NewMetricsAccumulator()
+	for w := 0; w < workers; w++ {
+		var part []FlowRecord
+		for i := 0; i < 500; i++ {
+			part = append(part, flowRecord(rng, classes[rng.Intn(len(classes))]))
+		}
+		records = append(records, part)
+	}
+	// Serial: all records in input order.
+	for _, part := range records {
+		for _, r := range part {
+			serial.RecordFlow(r)
+		}
+	}
+	// Parallel-shaped: per-worker accumulators merged in input order.
+	merged := NewMetricsAccumulator()
+	for _, part := range records {
+		acc := NewMetricsAccumulator()
+		for _, r := range part {
+			acc.RecordFlow(r)
+		}
+		if err := merged.Merge(acc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	js, err := json.Marshal(serial.Fleet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jm, err := json.Marshal(merged.Fleet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(js, jm) {
+		t.Errorf("merged metrics diverge from sequential:\nserial: %s\nmerged: %s", js, jm)
+	}
+}
+
+// The integer aggregates (counts, bytes, FCT histogram) must not depend on
+// merge order at all — only the float goodput sums need a fixed order.
+func TestMetricsMergeOrderIntegersStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	parts := make([]*MetricsAccumulator, 6)
+	for i := range parts {
+		parts[i] = NewMetricsAccumulator()
+		for j := 0; j < 200; j++ {
+			parts[i].RecordFlow(flowRecord(rng, "bulk"))
+		}
+	}
+	fold := func(order []int) *FleetMetrics {
+		out := NewMetricsAccumulator()
+		for _, i := range order {
+			if err := out.Merge(parts[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return out.Fleet()
+	}
+	ref := fold([]int{0, 1, 2, 3, 4, 5})
+	for trial := 0; trial < 10; trial++ {
+		got := fold(rng.Perm(len(parts)))
+		if got.Flows != ref.Flows || got.Bytes != ref.Bytes ||
+			got.Retransmits != ref.Retransmits ||
+			got.FCTP50 != ref.FCTP50 || got.FCTP99 != ref.FCTP99 ||
+			got.FCTP999 != ref.FCTP999 || got.FCTMean != ref.FCTMean ||
+			got.FCTMin != ref.FCTMin || got.FCTMax != ref.FCTMax {
+			t.Fatalf("integer aggregates changed under merge permutation:\nref %+v\ngot %+v", ref, got)
+		}
+	}
+}
+
+func TestMetricsFabricSummary(t *testing.T) {
+	m := NewMetricsAccumulator()
+	m.AddFabric(FabricCounters{Node: "a", Forwarded: 100, Dropped: 2, Ports: []FabricPortCounters{
+		{Link: "a/p0", Drops: 2, MaxQueued: 5000},
+	}})
+	m.AddFabric(FabricCounters{Node: "b", Forwarded: 50, TTLDrops: 1, Ports: []FabricPortCounters{
+		{Link: "b/p0", MaxQueued: 12000},
+		{Link: "b/p1", MaxQueued: 7000},
+	}})
+	f := m.Fleet()
+	if f == nil {
+		t.Fatal("fabric-only accumulator should still export")
+	}
+	fb := f.Fabric
+	if fb.Nodes != 2 || fb.Forwarded != 150 || fb.Dropped != 2 || fb.TTLDrops != 1 || fb.PortDrops != 2 {
+		t.Errorf("fabric summary = %+v", fb)
+	}
+	if fb.MaxQueued != 12000 || fb.MaxQueuedLink != "b/p0" {
+		t.Errorf("max queued = %d on %q", fb.MaxQueued, fb.MaxQueuedLink)
+	}
+}
+
+// buildMetricsBundle assembles a bundle carrying every post-footer line
+// type: a conn with a sample, fabric counters, and a fleet-metrics line.
+func buildMetricsBundle() *Bundle {
+	b := NewBundle("fleet", 7, Options{Enabled: true})
+	r := b.Conn("h1:1>h2")
+	r.RecordSample(Sample{At: 50 * units.Microsecond, State: "established", Cwnd: 10})
+	r.RecordEvent(60*units.Microsecond, EventRTO, 1, 5, 2, 99)
+	b.CaptureEngine(1234, 56)
+	b.CaptureFabric(FabricCounters{Node: "sw0", Forwarded: 10, Dropped: 1,
+		Ports: []FabricPortCounters{{Link: "sw0/up", Forwarded: 10, Bytes: 9000, Drops: 1, MaxQueued: 4500}}})
+	m := NewMetricsAccumulator()
+	m.RecordFlow(FlowRecord{Class: "bulk", Bytes: 9000, FCT: units.Millisecond,
+		Goodput: units.Throughput(9000, units.Millisecond), Retransmits: 1})
+	m.AddFabric(FabricCounters{Node: "sw0", Forwarded: 10, Dropped: 1,
+		Ports: []FabricPortCounters{{Link: "sw0/up", Drops: 1, MaxQueued: 4500}}})
+	b.CaptureMetrics(m)
+	return b
+}
+
+// Satellite: ParseJSONL must round-trip the fabric line together with the
+// metrics line, preserve their order after the engine footer, and tolerate
+// record types it does not know.
+func TestParseJSONLRoundTripFabricAndMetrics(t *testing.T) {
+	b := buildMetricsBundle()
+	data := b.ExportJSONL()
+
+	// Line ordering: meta first, engine footer after conn data, fabric
+	// after engine, metrics last.
+	var order []string
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var typ struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &typ); err != nil {
+			t.Fatal(err)
+		}
+		order = append(order, typ.Type)
+	}
+	want := []string{"meta", "conn", "sample", "event", "engine", "fabric", "metrics"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("line order = %v, want %v", order, want)
+	}
+
+	parsed, err := ParseJSONL(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parsed.Fabric, b.Fabric) {
+		t.Errorf("fabric round trip:\ngot  %+v\nwant %+v", parsed.Fabric, b.Fabric)
+	}
+	if parsed.Metrics == nil {
+		t.Fatal("metrics line lost in round trip")
+	}
+	if !reflect.DeepEqual(*parsed.Metrics, *b.Metrics) {
+		t.Errorf("metrics round trip:\ngot  %+v\nwant %+v", *parsed.Metrics, *b.Metrics)
+	}
+	// Re-export of the parsed bundle reproduces the original bytes.
+	if again := parsed.ExportJSONL(); !bytes.Equal(again, data) {
+		t.Error("re-export after parse is not byte-identical")
+	}
+	if parsed.UnknownLines != 0 {
+		t.Errorf("unknown lines = %d, want 0", parsed.UnknownLines)
+	}
+}
+
+func TestParseJSONLUnknownLineTolerance(t *testing.T) {
+	b := buildMetricsBundle()
+	data := b.ExportJSONL()
+	// Splice two future record types into the middle and end.
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	spliced := append([]string{}, lines[:2]...)
+	spliced = append(spliced, `{"type":"checkpoint","seq":9}`)
+	spliced = append(spliced, lines[2:]...)
+	spliced = append(spliced, `{"type":"from_the_future","payload":{"nested":[1,2,3]}}`)
+	parsed, err := ParseJSONL([]byte(strings.Join(spliced, "\n") + "\n"))
+	if err != nil {
+		t.Fatalf("unknown line types should not fail the parse: %v", err)
+	}
+	if parsed.UnknownLines != 2 {
+		t.Errorf("unknown lines = %d, want 2", parsed.UnknownLines)
+	}
+	if parsed.Metrics == nil || len(parsed.Fabric) != 1 {
+		t.Error("known lines lost around unknown ones")
+	}
+	// Truly malformed input still fails loudly.
+	if _, err := ParseJSONL([]byte("{not json}\n")); err == nil {
+		t.Error("malformed JSON should fail")
+	}
+}
+
+func TestMetricsSummaryRendering(t *testing.T) {
+	b := buildMetricsBundle()
+	s := b.Summary()
+	for _, want := range []string{"fleet:", "fct", "class", "fabric 1 nodes"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(s, fmt.Sprintf("%d flows", b.Metrics.Flows)) {
+		t.Errorf("summary missing flow count:\n%s", s)
+	}
+}

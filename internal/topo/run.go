@@ -3,6 +3,7 @@ package topo
 import (
 	"fmt"
 
+	"tengig/internal/telemetry"
 	"tengig/internal/units"
 )
 
@@ -10,8 +11,10 @@ import (
 type FlowResult struct {
 	Src, Dst string
 	Flow     uint32
-	Bytes    int64
-	Elapsed  units.Time
+	// Class is the flow's declared traffic class ("" = default).
+	Class   string
+	Bytes   int64
+	Elapsed units.Time
 	// Throughput is application-visible goodput, first write to last byte
 	// consumed by the receiver.
 	Throughput  units.Bandwidth
@@ -69,6 +72,7 @@ func (n *Network) RunFlows(timeout units.Time) ([]FlowResult, error) {
 		elapsed := st.doneAt - start
 		out[i] = FlowResult{
 			Src: f.Src, Dst: f.Dst, Flow: uint32(i + 1),
+			Class:       f.Class,
 			Bytes:       st.received,
 			Elapsed:     elapsed,
 			Throughput:  units.Throughput(st.received, elapsed),
@@ -80,6 +84,27 @@ func (n *Network) RunFlows(timeout units.Time) ([]FlowResult, error) {
 			n.Spec.Name, len(stuck), timeout, stuck)
 	}
 	return out, nil
+}
+
+// CollectMetrics folds a run's flow results and the network's switch
+// counters into a fleet-level metrics accumulator: flows in declaration
+// order, then fabric nodes in declaration order, so the result is
+// deterministic for a given run.
+func (n *Network) CollectMetrics(results []FlowResult) *telemetry.MetricsAccumulator {
+	m := telemetry.NewMetricsAccumulator()
+	for _, r := range results {
+		m.RecordFlow(telemetry.FlowRecord{
+			Class:       r.Class,
+			Bytes:       r.Bytes,
+			FCT:         r.Elapsed,
+			Goodput:     r.Throughput,
+			Retransmits: r.Retransmits,
+		})
+	}
+	for _, fc := range n.FabricCounters() {
+		m.AddFabric(fc)
+	}
+	return m
 }
 
 // Aggregate sums the flows' goodput over the slowest flow's elapsed time —

@@ -190,6 +190,9 @@ type FlowSpec struct {
 	// writes of 8948 bytes).
 	Count   int `json:"count,omitempty"`
 	Payload int `json:"payload,omitempty"`
+	// Class tags the flow for per-class fleet metrics (e.g. "bulk", "rpc");
+	// empty means telemetry.DefaultClass.
+	Class string `json:"class,omitempty"`
 }
 
 // Default flow shape: NTTCP writes sized to one jumbo-frame MSS.
