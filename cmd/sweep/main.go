@@ -62,6 +62,8 @@ var (
 	chaos    = flag.Int("chaos", 0, "run N randomized fault-injection campaigns with the invariant auditor attached; non-zero exit on any violation")
 	replay   = flag.String("replay", "", "replay a crash-bundle JSON written by a contained sweep/chaos failure and report whether it reproduces")
 	topoFile = flag.String("topology", "", "compile a declarative topology file (JSON), run its flows, and report per-flow goodput and switch counters")
+	shardsF  = flag.Int("shards", 0, "run -topology under the conservative parallel-DES runner with N sharded engines (0 = sequential; output is byte-identical either way)")
+	pdesOut  = flag.String("pdes-bench", "", "measure the parallel runner's wall-clock scaling (shards 1/2/4) over the benchmark topology and write BENCH_pdes.json-shaped output to this path")
 	cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProf  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	sched    = flag.String("sched", sim.DefaultScheduler().String(), "event scheduler: wheel (O(1) timing wheel) or heap (reference binary heap); results are byte-identical either way")
@@ -106,8 +108,16 @@ func main() {
 		runChaos(*chaos)
 		return
 	}
+	if *pdesOut != "" {
+		writePDESBench(*pdesOut)
+		return
+	}
 	if *topoFile != "" {
-		runTopology(*topoFile)
+		if *shardsF > 0 {
+			runTopologySharded(*topoFile, *shardsF)
+		} else {
+			runTopology(*topoFile)
+		}
 		return
 	}
 	ran := false
@@ -164,6 +174,8 @@ func runGate() {
 			rep = bench.CompareKernel(f.Kernel)
 		case bench.KindSched:
 			rep = bench.CompareSched(f.Sched)
+		case bench.KindPDES:
+			rep = bench.ComparePDES(f.PDES)
 		}
 		fmt.Printf("baseline %s (%s): %d measurements compared, %d regressions\n",
 			f.Path, f.Kind, rep.Compared, len(rep.Regressions))

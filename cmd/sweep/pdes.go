@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"tengig/internal/bench"
+	"tengig/internal/core"
+	"tengig/internal/pdes"
+	"tengig/internal/telemetry"
+	"tengig/internal/topo"
+)
+
+// defaultPDESTopology drives -pdes-bench when no -topology is given: the
+// 16-switch metro-area torus with 32 concurrent flows.
+const defaultPDESTopology = "examples/topologies/torus-grid.json"
+
+// pdesBenchShards are the shard counts a -pdes-bench run measures.
+var pdesBenchShards = []int{1, 2, 4}
+
+// runTopologySharded is runTopology's parallel twin: it drives the topology
+// through the conservative parallel-DES runner and prints the identical flow
+// and fabric report (the outputs are byte-equal by construction), plus the
+// partition and synchronization summary.
+func runTopologySharded(path string, shards int) {
+	spec, err := topo.Load(path)
+	if err != nil {
+		log.Fatalf("topology: %v", err)
+	}
+	opts := pdes.Options{Shards: shards, Seed: *seed, Metrics: *metricsF}
+	if *telemDir != "" {
+		opts.Telemetry = &telemetry.Options{Enabled: true}
+	}
+	r, err := pdes.New(spec, opts)
+	if err != nil {
+		log.Fatalf("topology: %v", err)
+	}
+	start := time.Now()
+	res, err := r.Run()
+	if err != nil {
+		log.Fatalf("topology: %v", err)
+	}
+	wall := time.Since(start)
+
+	fmt.Printf("== topology %s: %d hosts, %d switches, %d links, %d flows ==\n",
+		spec.Name, len(spec.Hosts), len(spec.Switches), len(spec.Links), len(spec.Flows))
+	fmt.Printf("parallel: %d shards, %d cut links, lookahead %v, %d windows\n",
+		res.Plan.Shards, len(res.Plan.CutLinks), res.Plan.Lookahead, res.Windows)
+	fmt.Printf("%-20s %-12s %-12s %-10s %s\n", "flow", "bytes", "elapsed", "Gb/s", "retrans")
+	for _, fr := range res.Flows {
+		fmt.Printf("%-20s %-12d %-12v %-10.3f %d\n",
+			fmt.Sprintf("%s->%s", fr.Src, fr.Dst), fr.Bytes, fr.Elapsed,
+			fr.Throughput.Gbps(), fr.Retransmits)
+	}
+	fmt.Printf("aggregate %.3f Gb/s over %d flows (wall %v)\n\n",
+		topo.Aggregate(res.Flows).Gbps(), len(res.Flows), wall.Round(time.Millisecond))
+
+	for _, fc := range res.Fabric {
+		fmt.Printf("switch %-12s forwarded %-8d dropped %-6d no-route %-4d ttl-drops %d\n",
+			fc.Node, fc.Forwarded, fc.Dropped, fc.NoRoute, fc.TTLDrops)
+		for _, ps := range fc.Ports {
+			if ps.Forwarded == 0 && ps.Drops == 0 {
+				continue
+			}
+			fmt.Printf("  port %-28s fwd %-8d drops %-6d max-queued %d B\n",
+				ps.Link, ps.Forwarded, ps.Drops, ps.MaxQueued)
+		}
+	}
+
+	if res.Metrics != nil {
+		printFleet("fleet metrics", res.Metrics.Fleet())
+	}
+	if res.Bundle != nil {
+		if err := core.WriteBundle(*telemDir, res.Bundle); err != nil {
+			log.Fatalf("topology: %v", err)
+		}
+		fmt.Printf("telemetry bundle written to %s\n", *telemDir)
+	}
+}
+
+// writePDESBench measures the sharded runner's wall-clock scaling over the
+// benchmark topology and writes BENCH_pdes.json-shaped output to path. The
+// file self-describes the host (CPU count) because wall-clock speedup means
+// nothing without it.
+func writePDESBench(path string) {
+	topoPath := *topoFile
+	if topoPath == "" {
+		topoPath = defaultPDESTopology
+	}
+	const reps = 5
+	cpus := runtime.NumCPU()
+	pf := &bench.PDESFile{
+		Meta: &bench.Meta{
+			Scheduler: "heap", // the parallel runner always uses the heap scheduler
+			Seed:      *seed,
+			Topology:  topoPath,
+			Reps:      reps,
+			CPUs:      cpus,
+		},
+	}
+	maxShards := 0
+	for _, n := range pdesBenchShards {
+		if n > maxShards {
+			maxShards = n
+		}
+	}
+	if cpus < maxShards {
+		pf.Meta.Note = fmt.Sprintf(
+			"measured on a %d-CPU host: wall ratios record synchronization overhead, not parallel speedup; the speedup floor gates only on hosts with >= %d CPUs",
+			cpus, maxShards)
+	}
+	fmt.Printf("pdes bench: %s, %d reps per shard count, %d CPUs\n", topoPath, reps, cpus)
+	wall1 := 0.0
+	for _, n := range pdesBenchShards {
+		wall, err := bench.MeasurePDES(topoPath, *seed, n, reps)
+		if err != nil {
+			log.Fatalf("pdes bench: shards=%d: %v", n, err)
+		}
+		if n == 1 {
+			wall1 = wall
+		}
+		e := bench.PDESEntry{Shards: n, WallMS: wall}
+		if wall > 0 && wall1 > 0 {
+			e.Speedup = wall1 / wall
+		}
+		pf.PDES = append(pf.PDES, e)
+		fmt.Printf("  shards=%d  wall %8.2f ms  speedup %.2fx\n", n, e.WallMS, e.Speedup)
+	}
+	data, err := json.MarshalIndent(pf, "", "  ")
+	if err != nil {
+		log.Fatalf("pdes bench: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatalf("pdes bench: %v", err)
+	}
+	fmt.Printf("wrote %s (%d shard counts)\n", path, len(pf.PDES))
+}

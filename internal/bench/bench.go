@@ -1,6 +1,6 @@
 // Package bench reads the repo's committed BENCH_*.json baselines and
 // compares a current run against them, turning the bench files from
-// documentation into an enforced contract. Three shapes exist at the repo
+// documentation into an enforced contract. Four shapes exist at the repo
 // root:
 //
 //   - BENCH_sweep.json:  per-figure sweep results (simulated Gb/s per
@@ -13,6 +13,10 @@
 //     same workloads in-process (see probe.go).
 //   - BENCH_sched.json:  the same workloads keyed by scheduler kind
 //     (heap vs wheel), gated the same way.
+//   - BENCH_pdes.json:   wall-clock scaling of the sharded parallel-DES
+//     runner. The gate re-measures in-process and enforces the speedup
+//     floor at the largest shard count — but only on hosts with enough
+//     CPUs to run the shards in parallel; elsewhere it skips visibly.
 package bench
 
 import (
@@ -75,6 +79,13 @@ type Meta struct {
 	Full      bool   `json:"full,omitempty"`
 	Workers   int    `json:"workers,omitempty"`
 	Topology  string `json:"topology,omitempty"`
+	// CPUs records the measuring host's core count (BENCH_pdes.json):
+	// wall-clock speedup is meaningless without it.
+	CPUs int `json:"cpus,omitempty"`
+	// Reps is how many runs each wall-clock median covers.
+	Reps int `json:"reps,omitempty"`
+	// Note carries free-form measurement caveats.
+	Note string `json:"note,omitempty"`
 }
 
 // SweepFile is BENCH_sweep.json.
@@ -90,16 +101,18 @@ const (
 	KindSweep  Kind = "sweep"
 	KindKernel Kind = "kernel"
 	KindSched  Kind = "sched"
+	KindPDES   Kind = "pdes"
 )
 
-// File is one loaded baseline: exactly one of Sweeps/Kernel/Sched is set,
-// per Kind.
+// File is one loaded baseline: exactly one of Sweeps/Kernel/Sched/PDES is
+// set, per Kind.
 type File struct {
 	Path   string
 	Kind   Kind
 	Sweeps *SweepFile
 	Kernel *KernelFile
 	Sched  SchedFile
+	PDES   *PDESFile
 }
 
 // Load reads a baseline file and detects its shape from the top-level keys.
@@ -135,6 +148,12 @@ func Parse(data []byte) (*File, error) {
 			return nil, fmt.Errorf("bench: kernel file: %w", err)
 		}
 		return &File{Kind: KindKernel, Kernel: &kf}, nil
+	case top["pdes"] != nil:
+		var pf PDESFile
+		if err := json.Unmarshal(data, &pf); err != nil {
+			return nil, fmt.Errorf("bench: pdes file: %w", err)
+		}
+		return &File{Kind: KindPDES, PDES: &pf}, nil
 	case top["heap"] != nil || top["wheel"] != nil:
 		var sc SchedFile
 		if err := json.Unmarshal(data, &sc); err != nil {
@@ -142,5 +161,5 @@ func Parse(data []byte) (*File, error) {
 		}
 		return &File{Kind: KindSched, Sched: sc}, nil
 	}
-	return nil, fmt.Errorf("bench: unrecognized baseline shape (no sweeps/benchmarks/heap keys)")
+	return nil, fmt.Errorf("bench: unrecognized baseline shape (no sweeps/benchmarks/pdes/heap keys)")
 }

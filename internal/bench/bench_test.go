@@ -13,6 +13,7 @@ func TestParseDetectsShapes(t *testing.T) {
 		{`{"meta":{"scheduler":"wheel"},"sweeps":[{"figure":"fig3","label":"x","points":[]}]}`, KindSweep},
 		{`{"description":"d","benchmarks":{"TimerChurn":{"before":{"ns_op":1},"after":{"allocs_op":0}}}}`, KindKernel},
 		{`{"heap":{"TimerChurn":{"allocs_op":0}},"wheel":{"TimerChurn":{"allocs_op":0}}}`, KindSched},
+		{`{"meta":{"topology":"t.json","cpus":4},"pdes":[{"shards":1,"wall_ms":10,"speedup":1}]}`, KindPDES},
 	}
 	for _, c := range cases {
 		f, err := Parse([]byte(c.data))
@@ -35,6 +36,7 @@ func TestLoadCommittedBaselines(t *testing.T) {
 	for path, kind := range map[string]Kind{
 		"../../BENCH_kernel.json": KindKernel,
 		"../../BENCH_sched.json":  KindSched,
+		"../../BENCH_pdes.json":   KindPDES,
 	} {
 		f, err := Load(path)
 		if err != nil {

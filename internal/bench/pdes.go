@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"tengig/internal/pdes"
+	"tengig/internal/topo"
+)
+
+// PDESEntry is one shard count's parallel-DES measurement.
+type PDESEntry struct {
+	Shards int     `json:"shards"`
+	WallMS float64 `json:"wall_ms"`
+	// Speedup is wall(1 shard) / wall(this entry): the dimensionless number
+	// the gate checks, so baselines stay comparable across machines.
+	Speedup float64 `json:"speedup"`
+}
+
+// PDESFile is BENCH_pdes.json: wall-clock scaling of the sharded simulation
+// runner over one benchmark topology.
+type PDESFile struct {
+	Meta *Meta       `json:"meta,omitempty"`
+	PDES []PDESEntry `json:"pdes"`
+}
+
+// pdesSpeedupFloor is the contract at the largest recorded shard count: the
+// parallel runner must at least halve the wall clock. It gates only on hosts
+// with enough CPUs to run the shards in parallel.
+const pdesSpeedupFloor = 2.0
+
+// pdesReps is how many runs a measurement takes the median of.
+const pdesReps = 3
+
+// MeasurePDES runs the topology's flows under the sharded runner and
+// returns the median wall-clock milliseconds over reps runs (first warm-up
+// run discarded — it pays compile and allocator warm-up).
+func MeasurePDES(topoPath string, seed int64, shards, reps int) (float64, error) {
+	spec, err := topo.Load(topoPath)
+	if err != nil {
+		return 0, err
+	}
+	r, err := pdes.New(spec, pdes.Options{Shards: shards, Seed: seed})
+	if err != nil {
+		return 0, err
+	}
+	if _, err := r.Run(); err != nil {
+		return 0, err
+	}
+	walls := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if _, err := r.Run(); err != nil {
+			return 0, err
+		}
+		walls = append(walls, float64(time.Since(start).Nanoseconds())/1e6)
+	}
+	sort.Float64s(walls)
+	return walls[len(walls)/2], nil
+}
+
+// ComparePDES re-measures the baseline's topology at each recorded shard
+// count and gates the speedup floor at the largest one. Speedup is a
+// property of parallel hardware: on hosts with fewer CPUs than shards the
+// entries are skipped with the reason visible in the report, never silently
+// passed.
+func ComparePDES(pf *PDESFile) *Report {
+	rep := &Report{}
+	if len(pf.PDES) == 0 {
+		rep.Skipped = append(rep.Skipped, "pdes: baseline has no entries")
+		return rep
+	}
+	topoPath := ""
+	var seed int64
+	if pf.Meta != nil {
+		topoPath = pf.Meta.Topology
+		seed = pf.Meta.Seed
+	}
+	if topoPath == "" {
+		rep.Skipped = append(rep.Skipped, "pdes: baseline meta names no topology")
+		return rep
+	}
+	maxShards := 0
+	for _, e := range pf.PDES {
+		if e.Shards > maxShards {
+			maxShards = e.Shards
+		}
+	}
+	if maxShards < 2 {
+		rep.Skipped = append(rep.Skipped, "pdes: baseline records no multi-shard entry to floor")
+		return rep
+	}
+	if cpus := runtime.NumCPU(); cpus < maxShards {
+		rep.Skipped = append(rep.Skipped,
+			fmt.Sprintf("pdes: host has %d CPUs for %d shards (speedup needs parallel hardware)", cpus, maxShards))
+		return rep
+	}
+	wall1 := 0.0
+	walls := make(map[int]float64, len(pf.PDES))
+	for _, e := range pf.PDES {
+		w, err := MeasurePDES(topoPath, seed, e.Shards, pdesReps)
+		if err != nil {
+			rep.Skipped = append(rep.Skipped, fmt.Sprintf("pdes: shards=%d: %v", e.Shards, err))
+			return rep
+		}
+		walls[e.Shards] = w
+		if e.Shards == 1 {
+			wall1 = w
+		}
+	}
+	if wall1 == 0 {
+		rep.Skipped = append(rep.Skipped, "pdes: baseline records no 1-shard entry to compute speedup against")
+		return rep
+	}
+	rep.Compared++
+	if got := wall1 / walls[maxShards]; got < pdesSpeedupFloor {
+		rep.Regressions = append(rep.Regressions, Finding{
+			Name:     fmt.Sprintf("pdes shards=%d", maxShards),
+			Metric:   "speedup",
+			Baseline: pdesSpeedupFloor, Current: got,
+			DeltaPct: relDelta(pdesSpeedupFloor, got) * 100,
+		})
+	}
+	return rep
+}

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestComparePDESSkipPaths pins the visible-skip contract: a gate that
+// cannot check the speedup floor must say why instead of silently passing.
+func TestComparePDESSkipPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		file *PDESFile
+		want string
+	}{
+		{"no entries", &PDESFile{Meta: &Meta{Topology: "t.json"}}, "no entries"},
+		{"no topology", &PDESFile{PDES: []PDESEntry{{Shards: 1}, {Shards: 4}}}, "no topology"},
+		{
+			"no multi-shard entry",
+			&PDESFile{Meta: &Meta{Topology: "t.json"}, PDES: []PDESEntry{{Shards: 1, WallMS: 10, Speedup: 1}}},
+			"no multi-shard",
+		},
+		{
+			"too few cpus",
+			&PDESFile{
+				Meta: &Meta{Topology: "t.json"},
+				PDES: []PDESEntry{{Shards: 1}, {Shards: runtime.NumCPU() + 1}},
+			},
+			"CPUs",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rep := ComparePDES(c.file)
+			if rep.Failed() || rep.Compared != 0 {
+				t.Fatalf("expected a pure skip, got %+v", rep)
+			}
+			if len(rep.Skipped) != 1 || !strings.Contains(rep.Skipped[0], c.want) {
+				t.Errorf("skip reason %q does not mention %q", rep.Skipped, c.want)
+			}
+		})
+	}
+}

@@ -168,7 +168,7 @@ func (im *Impair) Receive(pk *packet.Packet) {
 	}
 	if im.DupProb > 0 && im.rng.Float64() < im.DupProb {
 		im.duplicated++
-		im.send(clonePacket(pk), delay)
+		im.send(ClonePacket(pk), delay)
 	}
 	im.send(pk, delay)
 }
@@ -260,10 +260,13 @@ func (im *Impair) Shutdown() int {
 	return n
 }
 
-// clonePacket returns an unpooled deep copy for duplication: the clone's
-// segment (if any) is copied too, because releasing the original recycles
-// its segment into the origin pool while the clone may still be in flight.
-func clonePacket(pk *packet.Packet) *packet.Packet {
+// ClonePacket returns an unpooled deep copy: the clone's segment (if any)
+// is copied too, because releasing the original recycles its segment into
+// the origin pool while the clone may still be in flight. Used for fault
+// duplication here and for cross-shard packet transfer in parallel DES,
+// where the original must return to its source-shard pool while the copy
+// travels to another engine.
+func ClonePacket(pk *packet.Packet) *packet.Packet {
 	cp := pk.CloneUnpooled()
 	if seg, ok := pk.Seg.(*tcp.Segment); ok && seg != nil {
 		s := *seg

@@ -1,0 +1,35 @@
+package pdes
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tengig/internal/topo"
+)
+
+// benchTorus drives the BENCH_pdes.json scenario: the 16-switch metro torus
+// with 32 concurrent flows, at a given shard count. Engines are warmed by
+// the runner, so steady-state iterations measure the run itself.
+func benchTorus(b *testing.B, shards int) {
+	spec, err := topo.Load(filepath.Join(examplesDir, "torus-grid.json"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := New(spec, Options{Shards: shards, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTorusGridShards1(b *testing.B) { benchTorus(b, 1) }
+func BenchmarkTorusGridShards2(b *testing.B) { benchTorus(b, 2) }
+func BenchmarkTorusGridShards4(b *testing.B) { benchTorus(b, 4) }

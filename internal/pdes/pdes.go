@@ -1,0 +1,390 @@
+// Package pdes runs one topology simulation across many cores: conservative
+// parallel discrete-event simulation with sharded engines synchronized by a
+// barrier-window protocol whose lookahead is the minimum link propagation
+// delay.
+//
+// # Design
+//
+// The topology is partitioned into shards (topo.Partition): contiguous runs
+// of a BFS linearization of the switch graph, balanced by event weight, with
+// explicit per-node pins honored. Every shard compiles the ENTIRE spec on
+// its own engine with the same seed — full replication — so construction,
+// addressing, and the TCP handshakes are bit-identical everywhere; a shard
+// then activates only the flows whose endpoints it owns (sends from local
+// sources, auto-reads at local sinks, telemetry on local connections), so
+// foreign replicas stay silent and execute no events.
+//
+// Packets reach foreign nodes through boundary ports: on each shard, every
+// cut-link direction whose receiver is foreign gets a phys handoff hook that
+// clones the packet at serialization-complete time and queues it as a
+// time-stamped cross-shard message (arrival = now + propagation). Messages
+// are exchanged at window barriers: all shards run [W, W+L) where L, the
+// lookahead, is the minimum propagation delay over all links; a message
+// created in a window arrives no earlier than the next (arrival >= ct + L),
+// so injecting each window's messages at its barrier can never violate
+// causality. When every shard is idle the coordinator fast-forwards to the
+// window containing the earliest future work — the deterministic equivalent
+// of a null message ("nothing before t") — so idle grids cost barriers, not
+// simulated windows.
+//
+// # Determinism
+//
+// The crown-jewel constraint: telemetry, metrics, and fabric counters are
+// byte-identical for every shard count. Three mechanisms carry the proof:
+//
+//   - Event order. Engines order events by (time, creation time, seq);
+//     cross-shard deliveries are injected with the sender-side creation time
+//     (sim.InjectCall), which puts them exactly where the single-engine run
+//     created them. Within one barrier delivery batch, messages are sorted
+//     by (arrival, ct, source shard, source sequence, link, direction).
+//   - Window grid. The lookahead uses ALL links, not just cut links, so the
+//     grid — and the window-quantized stopping point — is independent of
+//     where the partition falls. Every shard count executes the same event
+//     set, including the tail events between the last flow's completion and
+//     its window's end.
+//   - Engine counters. Executed sums exactly (each event runs on one shard;
+//     a boundary crossing costs one wireDone at the source plus one injected
+//     delivery at the destination, same as the single engine). HighWater is
+//     reconstructed from per-event liveness atoms via a canonical
+//     content-sorted replay (sim.ReplayHighWater), reported identically for
+//     every shard count including one.
+//
+// Topologies with fault scripts are rejected above one shard: netem draws
+// from the engine RNG, and replicated engines would draw different streams.
+package pdes
+
+import (
+	"fmt"
+	"sort"
+
+	"tengig/internal/sim"
+	"tengig/internal/telemetry"
+	"tengig/internal/topo"
+	"tengig/internal/units"
+)
+
+// Options configures a parallel run.
+type Options struct {
+	// Shards is the engine count (>= 1). 1 is the degenerate single-engine
+	// case, still window-quantized so its output is byte-identical to any
+	// other shard count.
+	Shards int
+	// Seed seeds every shard's engine (construction is replicated, so the
+	// replicas stay in lockstep through compile).
+	Seed int64
+	// Timeout bounds the run in simulated time (default 10 minutes, the
+	// same bound topo.Network.RunFlows uses).
+	Timeout units.Time
+	// Telemetry, when non-nil, records per-connection instruments on each
+	// connection's owning shard and merges them into Result.Bundle. It also
+	// enables the liveness ledger that reconstructs HighWater.
+	Telemetry *telemetry.Options
+	// Metrics folds the run into a fleet-level metrics accumulator.
+	Metrics bool
+}
+
+// Result is a completed parallel run.
+type Result struct {
+	// Flows holds one result per declared flow, in declaration order —
+	// identical to what topo.Network.RunFlows reports.
+	Flows []topo.FlowResult
+	// Events is the reconstructed single-engine event count.
+	Events uint64
+	// HighWater is the reconstructed live-event high-water mark (0 unless
+	// Telemetry enabled the ledger).
+	HighWater int
+	// Bundle is the merged telemetry (nil without Options.Telemetry).
+	Bundle *telemetry.Bundle
+	// Fabric holds per-switch counters in declaration order, each taken
+	// from the switch's owning shard.
+	Fabric []telemetry.FabricCounters
+	// Metrics is the fleet accumulator (nil without Options.Metrics).
+	Metrics *telemetry.MetricsAccumulator
+	// Plan records how the topology was partitioned.
+	Plan *topo.PartitionPlan
+	// Windows counts executed barrier windows (diagnostics).
+	Windows uint64
+}
+
+// Runner executes a topology under conservative parallel DES. A Runner is
+// reusable: engines are warmed once and Reset between runs, so repeated Run
+// calls (benchmarks) pay no construction-allocation cost beyond compile.
+type Runner struct {
+	spec    *topo.Spec
+	plan    *topo.PartitionPlan
+	opts    Options
+	engines []*sim.Engine
+}
+
+// New partitions the spec and validates that a parallel run can be exact.
+func New(spec *topo.Spec, opts Options) (*Runner, error) {
+	if opts.Shards == 0 {
+		opts.Shards = spec.Shards
+	}
+	if opts.Shards == 0 {
+		opts.Shards = 1
+	}
+	if opts.Timeout == 0 {
+		opts.Timeout = 10 * units.Minute
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Shards > 1 {
+		for i := range spec.Links {
+			if spec.Links[i].Faults != nil {
+				return nil, fmt.Errorf("pdes: topo %s: link %s has fault scripts; faults draw the engine RNG, which replicated shard engines cannot share (run with 1 shard)",
+					spec.Name, spec.Links[i].EffectiveName())
+			}
+		}
+	}
+	plan, err := topo.Partition(spec, opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{spec: spec, plan: plan, opts: opts}, nil
+}
+
+// Plan returns the partition the runner will execute.
+func (r *Runner) Plan() *topo.PartitionPlan { return r.plan }
+
+// Run executes the flows to completion and merges the shards' outputs.
+func (r *Runner) Run() (*Result, error) {
+	if r.engines == nil {
+		r.engines = make([]*sim.Engine, r.plan.Shards)
+		for i := range r.engines {
+			// Always the heap scheduler: both schedulers pop in the same
+			// order (sim.SchedulerKind), but a replica's timing wheel spans
+			// the whole simulated time while holding only a shard's slice of
+			// the events, so per-window peeks would pay shard-count-many
+			// full-span slot scans. The heap peeks in O(1).
+			r.engines[i] = sim.NewEngineWith(r.opts.Seed, sim.SchedHeap)
+		}
+	} else {
+		for _, eng := range r.engines {
+			eng.Reset(r.opts.Seed)
+		}
+	}
+	shards := make([]*shard, r.plan.Shards)
+	for i := range shards {
+		shards[i] = &shard{
+			idx: i,
+			eng: r.engines[i],
+			cmd: make(chan shardCmd, 1),
+			res: make(chan shardRes, 1),
+		}
+		go r.runShard(shards[i])
+	}
+
+	// Setup barrier: every shard compiles its replica and reports the
+	// replicated-construction fingerprint, which must agree everywhere.
+	setups := make([]shardRes, len(shards))
+	var firstErr error
+	for i, s := range shards {
+		setups[i] = <-s.res
+		if setups[i].err != nil && firstErr == nil {
+			firstErr = setups[i].err
+		}
+	}
+	alive := func(i int) bool { return setups[i].err == nil }
+	if firstErr != nil {
+		r.shutdown(shards, alive)
+		return nil, firstErr
+	}
+	t0, compiled, hwCompile := setups[0].t0, setups[0].executed, setups[0].hwCompile
+	startLive := 0
+	for i := range setups {
+		if setups[i].t0 != t0 || setups[i].executed != compiled || setups[i].hwCompile != hwCompile {
+			r.shutdown(shards, alive)
+			return nil, fmt.Errorf("pdes: topo %s: shard %d replica diverged during compile (t0 %v vs %v, events %d vs %d): construction is not deterministic",
+				r.spec.Name, i, setups[i].t0, t0, setups[i].executed, compiled)
+		}
+		startLive += setups[i].startLive
+	}
+
+	// Window loop.
+	L := r.plan.Lookahead
+	deadline := t0 + r.opts.Timeout
+	remaining := len(r.spec.Flows)
+	nextAt := make([]units.Time, len(shards))
+	hasNext := make([]bool, len(shards))
+	for i := range setups {
+		nextAt[i], hasNext[i] = setups[i].nextAt, setups[i].hasNext
+	}
+	var pending []crossMsg // cross-shard messages not yet deliverable
+	var windows uint64
+	var lastEnd units.Time
+	incomplete := func(stalled bool, at units.Time) error {
+		finals, err := r.finish(shards, alive)
+		if err != nil {
+			return err
+		}
+		return r.incompleteErr(finals, stalled, at)
+	}
+	for remaining > 0 {
+		// Earliest future work anywhere: shard events or in-flight messages.
+		work, any := unitsMax, false
+		for i := range shards {
+			if hasNext[i] && (!any || nextAt[i] < work) {
+				work, any = nextAt[i], true
+			}
+		}
+		for i := range pending {
+			if !any || pending[i].arrival < work {
+				work, any = pending[i].arrival, true
+			}
+		}
+		if !any {
+			return nil, incomplete(true, lastEnd)
+		}
+		if work >= deadline {
+			return nil, incomplete(false, lastEnd)
+		}
+		// Fast-forward to the window containing it (grid anchored at t0).
+		wStart := t0 + (work-t0)/L*L
+		wEnd := wStart + L
+		lastEnd = wEnd
+
+		// Deliverable messages go to the shard owning the receiving node,
+		// sorted by the canonical injection key.
+		inboxes := make([][]crossMsg, len(shards))
+		kept := pending[:0]
+		for _, m := range pending {
+			if m.arrival < wEnd {
+				dst := r.msgDst(m)
+				inboxes[dst] = append(inboxes[dst], m)
+			} else {
+				kept = append(kept, m)
+			}
+		}
+		pending = kept
+		for _, in := range inboxes {
+			sortInbox(in)
+		}
+		for i, s := range shards {
+			s.cmd <- shardCmd{kind: cmdWindow, windowEnd: wEnd, inbox: inboxes[i]}
+		}
+		windows++
+		for i, s := range shards {
+			res := <-s.res
+			if res.err != nil {
+				setups[i].err = res.err // mark dead for shutdown
+				r.shutdown(shards, alive)
+				return nil, res.err
+			}
+			pending = append(pending, res.outbox...)
+			nextAt[i], hasNext[i] = res.nextAt, res.hasNext
+			remaining -= res.completions
+		}
+	}
+
+	finals, err := r.finish(shards, alive)
+	if err != nil {
+		return nil, err
+	}
+	return r.merge(finals, t0, compiled, hwCompile, startLive, windows)
+}
+
+// unitsMax is a sentinel beyond any simulated time.
+const unitsMax = units.Time(1<<63 - 1)
+
+// msgDst returns the shard owning the message's receiving node.
+func (r *Runner) msgDst(m crossMsg) int {
+	l := &r.spec.Links[m.link]
+	if m.dir == dirAtoB {
+		return r.plan.Owner[l.B]
+	}
+	return r.plan.Owner[l.A]
+}
+
+// sortInbox orders one barrier delivery batch canonically: arrival and
+// sender-side creation time place each message on the (at, ct) grid every
+// engine shares; source shard and per-shard sequence reproduce creation
+// order among same-instant sends (shards own contiguous runs of the
+// declaration order, so this matches the single engine's creation order);
+// link and direction make the order total.
+func sortInbox(in []crossMsg) {
+	sort.Slice(in, func(i, j int) bool {
+		a, b := in[i], in[j]
+		if a.arrival != b.arrival {
+			return a.arrival < b.arrival
+		}
+		if a.ct != b.ct {
+			return a.ct < b.ct
+		}
+		if a.srcShard != b.srcShard {
+			return a.srcShard < b.srcShard
+		}
+		if a.srcSeq != b.srcSeq {
+			return a.srcSeq < b.srcSeq
+		}
+		if a.link != b.link {
+			return a.link < b.link
+		}
+		return a.dir < b.dir
+	})
+}
+
+// finish collects every live shard's final report.
+func (r *Runner) finish(shards []*shard, alive func(int) bool) ([]shardRes, error) {
+	finals := make([]shardRes, len(shards))
+	var firstErr error
+	for i, s := range shards {
+		if !alive(i) {
+			continue
+		}
+		s.cmd <- shardCmd{kind: cmdFinish}
+	}
+	for i, s := range shards {
+		if !alive(i) {
+			continue
+		}
+		finals[i] = <-s.res
+		if finals[i].err != nil && firstErr == nil {
+			firstErr = finals[i].err
+		}
+	}
+	return finals, firstErr
+}
+
+// shutdown releases still-live shard goroutines after a failure.
+func (r *Runner) shutdown(shards []*shard, alive func(int) bool) {
+	for i, s := range shards {
+		if !alive(i) {
+			continue
+		}
+		s.cmd <- shardCmd{kind: cmdFinish}
+		<-s.res
+	}
+}
+
+// incompleteErr builds the typed timeout/stall error from final flow state.
+func (r *Runner) incompleteErr(finals []shardRes, stalled bool, at units.Time) error {
+	e := &topo.IncompleteFlowsError{
+		Topo: r.spec.Name, Timeout: r.opts.Timeout, Stalled: stalled, At: at,
+	}
+	for i := range r.spec.Flows {
+		f := r.resolvedFlow(i)
+		dst := finals[r.plan.Owner[f.Dst]]
+		if len(dst.doneAt) <= i || dst.doneAt[i] != 0 {
+			continue
+		}
+		e.Incomplete = append(e.Incomplete, topo.IncompleteFlow{
+			Flow: f.Src + "->" + f.Dst, Src: f.Src, Dst: f.Dst,
+			Received: dst.received[i], Total: int64(f.Count) * int64(f.Payload),
+		})
+	}
+	return e
+}
+
+// resolvedFlow returns flow i with the spec defaults applied.
+func (r *Runner) resolvedFlow(i int) topo.FlowSpec {
+	f := r.spec.Flows[i]
+	if f.Count == 0 {
+		f.Count = topo.DefaultFlowCount
+	}
+	if f.Payload == 0 {
+		f.Payload = topo.DefaultFlowPayload
+	}
+	return f
+}

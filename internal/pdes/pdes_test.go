@@ -1,0 +1,188 @@
+package pdes
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"tengig/internal/netem"
+	"tengig/internal/sim"
+	"tengig/internal/telemetry"
+	"tengig/internal/topo"
+	"tengig/internal/units"
+)
+
+const examplesDir = "../../examples/topologies"
+
+func loadSpec(t *testing.T, name string) *topo.Spec {
+	t.Helper()
+	s, err := topo.Load(filepath.Join(examplesDir, name))
+	if err != nil {
+		t.Fatalf("load %s: %v", name, err)
+	}
+	return s
+}
+
+func runShards(t *testing.T, spec *topo.Spec, shards int) *Result {
+	t.Helper()
+	r, err := New(spec, Options{
+		Shards:    shards,
+		Seed:      42,
+		Telemetry: &telemetry.Options{Enabled: true},
+		Metrics:   true,
+	})
+	if err != nil {
+		t.Fatalf("%s: New(shards=%d): %v", spec.Name, shards, err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatalf("%s: Run(shards=%d): %v", spec.Name, shards, err)
+	}
+	return res
+}
+
+// TestShardedEquivalence is the crown jewel: for every shipped example
+// topology, the sharded run's telemetry bundle (connection instruments,
+// engine counters, fabric counters, fleet metrics — the full JSONL and CSV
+// exports), flow results, and fabric counters must be byte-identical to the
+// 1-shard run at every shard count.
+func TestShardedEquivalence(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join(examplesDir, "*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no example topologies found: %v", err)
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			spec := loadSpec(t, filepath.Base(file))
+			base := runShards(t, spec, 1)
+			baseJSONL := base.Bundle.ExportJSONL()
+			baseCSV := base.Bundle.ExportCSV()
+			baseSum := sha256.Sum256(baseJSONL)
+			maxShards := 4
+			if n := len(spec.Hosts) + len(spec.Switches); n < maxShards {
+				maxShards = n
+			}
+			for shards := 2; shards <= maxShards; shards *= 2 {
+				t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+					res := runShards(t, spec, shards)
+					if len(res.Plan.CutLinks) == 0 {
+						t.Fatalf("partition into %d shards cut no links", shards)
+					}
+					if !reflect.DeepEqual(res.Flows, base.Flows) {
+						t.Errorf("flow results diverged:\n 1 shard: %+v\n%d shards: %+v",
+							base.Flows, shards, res.Flows)
+					}
+					if !reflect.DeepEqual(res.Fabric, base.Fabric) {
+						t.Errorf("fabric counters diverged")
+					}
+					if res.Events != base.Events {
+						t.Errorf("events: %d shards executed %d, 1 shard %d",
+							shards, res.Events, base.Events)
+					}
+					if res.HighWater != base.HighWater {
+						t.Errorf("high-water: %d shards %d, 1 shard %d",
+							shards, res.HighWater, base.HighWater)
+					}
+					gotSum := sha256.Sum256(res.Bundle.ExportJSONL())
+					if gotSum != baseSum {
+						t.Errorf("telemetry JSONL diverged (sha256 %x vs %x)", gotSum, baseSum)
+					}
+					if got := res.Bundle.ExportCSV(); string(got) != string(baseCSV) {
+						t.Errorf("telemetry CSV diverged")
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestSingleShardMatchesRunFlows pins the 1-shard parallel run to the plain
+// sequential path: identical flow results (the window-quantized stop only
+// runs extra tail events after the last completion, which cannot change
+// flow outcomes).
+func TestSingleShardMatchesRunFlows(t *testing.T) {
+	for _, name := range []string{"paper-baseline.json", "beowulf-star.json"} {
+		t.Run(name, func(t *testing.T) {
+			spec := loadSpec(t, name)
+			eng := sim.NewEngine(42)
+			net, err := topo.Compile(eng, spec, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := net.RunFlows(10 * units.Minute)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par := runShards(t, spec, 1)
+			if !reflect.DeepEqual(par.Flows, seq) {
+				t.Errorf("1-shard pdes diverged from RunFlows:\nseq: %+v\npar: %+v", seq, par.Flows)
+			}
+		})
+	}
+}
+
+// TestFaultScriptsRejected: fault scripts draw the engine RNG, which
+// replicated shards cannot share.
+func TestFaultScriptsRejected(t *testing.T) {
+	spec := loadSpec(t, "paper-baseline.json")
+	spec.Links[0].Faults = &topo.LinkFaults{
+		AtoB: netem.Script{{At: units.Millisecond, Fault: netem.Fault{LossProb: 1e-4}}},
+	}
+	if _, err := New(spec, Options{Shards: 2}); err == nil {
+		t.Fatal("fault-scripted spec accepted above one shard")
+	}
+	if _, err := New(spec, Options{Shards: 1}); err != nil {
+		t.Fatalf("fault-scripted spec rejected at one shard: %v", err)
+	}
+}
+
+// TestTimeoutReturnsTypedError: a run that cannot finish in time reports the
+// typed incomplete-flows error naming each unfinished flow.
+func TestTimeoutReturnsTypedError(t *testing.T) {
+	spec := loadSpec(t, "paper-baseline.json")
+	r, err := New(spec, Options{Shards: 2, Seed: 42, Timeout: units.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Run()
+	var inc *topo.IncompleteFlowsError
+	if !errors.As(err, &inc) {
+		t.Fatalf("want IncompleteFlowsError, got %v", err)
+	}
+	if len(inc.Incomplete) == 0 {
+		t.Fatal("typed error names no flows")
+	}
+	for _, f := range inc.Incomplete {
+		if f.Flow == "" || f.Total == 0 {
+			t.Errorf("underspecified incomplete flow: %+v", f)
+		}
+	}
+}
+
+// TestRunnerReuse: a Runner's engines are reset between runs, so repeated
+// runs produce identical results (the property the benchmark loop relies on).
+func TestRunnerReuse(t *testing.T) {
+	spec := loadSpec(t, "paper-baseline.json")
+	r, err := New(spec, Options{Shards: 2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Flows, second.Flows) {
+		t.Error("rerun on reset engines diverged")
+	}
+	if first.Events != second.Events {
+		t.Errorf("rerun executed %d events, first run %d", second.Events, first.Events)
+	}
+}

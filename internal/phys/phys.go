@@ -84,6 +84,12 @@ type Port struct {
 	// rides the event argument through serialization and propagation.
 	wireDoneCb func(any) // serialization complete → start propagation
 	deliverCb  func(any) // propagation complete → hand to receiver
+
+	// handoff, when set, replaces the propagation leg: the packet is given
+	// to the hook at serialization-complete time instead of being scheduled
+	// for local delivery. Parallel DES uses it on shard-boundary ports to
+	// divert the packet to the shard that owns the receiving device.
+	handoff func(*packet.Packet)
 }
 
 // NewPort builds a transmit port. rate is the nominal line rate; prop is the
@@ -100,10 +106,31 @@ func NewPort(eng *sim.Engine, name string, rate units.Bandwidth, prop units.Time
 		framing: f,
 		prop:    prop,
 	}
-	p.wireDoneCb = func(x any) { p.eng.AfterCall(p.prop, p.deliverCb, x) }
+	p.wireDoneCb = func(x any) {
+		if p.handoff != nil {
+			p.handoff(x.(*packet.Packet))
+			return
+		}
+		p.eng.AfterCall(p.prop, p.deliverCb, x)
+	}
 	p.deliverCb = func(x any) { p.dst.Receive(x.(*packet.Packet)) }
 	return p
 }
+
+// SetHandoff installs (or, with nil, removes) a shard-boundary hook: instead
+// of scheduling local delivery after the propagation delay, the port hands
+// the packet to fn at serialization-complete time. The hook owns the packet
+// and is responsible for delivering a copy prop later on the shard that owns
+// the receiver — see Prop and Deliver.
+func (p *Port) SetHandoff(fn func(*packet.Packet)) { p.handoff = fn }
+
+// Prop returns the port's one-way propagation delay.
+func (p *Port) Prop() units.Time { return p.prop }
+
+// Deliver hands a packet to the attached receiver, exactly as the
+// propagation-complete event would. Parallel DES injects this (bound once
+// per boundary port) as the cross-shard delivery callback.
+func (p *Port) Deliver(x any) { p.deliverCb(x) }
 
 // SetDst attaches the receiving end.
 func (p *Port) SetDst(r Receiver) { p.dst = r }

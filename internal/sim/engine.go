@@ -40,7 +40,8 @@ import (
 // event is live; both nil marks a cancelled event awaiting recycling.
 type event struct {
 	at   units.Time
-	seq  uint64 // tie-break: FIFO among events at the same instant
+	ct   units.Time // creation time: when the event was scheduled (see evLess)
+	seq  uint64     // tie-break: FIFO among events at the same (at, ct)
 	do   func()
 	fn   func(any) // closure-free form: fn(arg)
 	arg  any
@@ -87,6 +88,9 @@ func (t *Timer) Stop() bool {
 	}
 	ev.do, ev.fn, ev.arg = nil, nil, nil
 	eng.live--
+	if eng.ledger != nil {
+		eng.ledger.down()
+	}
 	return true
 }
 
@@ -108,6 +112,7 @@ func (t *Timer) Reschedule(at units.Time) bool {
 		panic(fmt.Sprintf("sim: rescheduling into the past: at=%v now=%v", at, eng.now))
 	}
 	ev.at = at
+	ev.ct = eng.now
 	ev.seq = eng.seq
 	eng.seq++
 	eng.sched.update(ev)
@@ -138,6 +143,8 @@ type Engine struct {
 	stopped   bool
 	maxEvents uint64 // event budget (LimitEvents); 0 = unlimited
 	budgetHit bool   // the budget stopped the run (EventBudgetExceeded)
+	ledger    *LiveLedger // optional liveness ledger for parallel-DES HighWater reconstruction
+	injecting bool        // InjectCall in progress: suppress the ledger's creation delta
 	rng       *rand.Rand
 	// Executed counts events run; useful for progress assertions in tests.
 	Executed uint64
@@ -182,8 +189,18 @@ func (e *Engine) Reset(seed int64) {
 	e.budgetHit = false
 	e.Executed = 0
 	e.HighWater = 0
+	e.ledger = nil
+	e.injecting = false
 	e.rng.Seed(seed)
 }
+
+// SetLedger attaches (or, with nil, detaches) a liveness ledger. While
+// attached, every executed event opens an atom and every creation/cancel
+// inside its callback is recorded, so a parallel-DES coordinator can
+// reconstruct the single-engine HighWater from the shards' atom sets (see
+// ReplayHighWater). Attach costs one predictable branch per schedule/step;
+// the nil default keeps the hot path allocation- and ledger-free.
+func (e *Engine) SetLedger(l *LiveLedger) { e.ledger = l }
 
 // LimitEvents caps the number of events this run may execute (0 removes the
 // cap). When the cap is reached Step reports false as if the queue had
@@ -221,11 +238,15 @@ func (e *Engine) newEvent(at units.Time) *event {
 		ev = &event{}
 	}
 	ev.at = at
+	ev.ct = e.now
 	ev.seq = e.seq
 	e.seq++
 	e.live++
 	if e.live > e.HighWater {
 		e.HighWater = e.live
+	}
+	if e.ledger != nil && !e.injecting {
+		e.ledger.up()
 	}
 	return ev
 }
@@ -274,6 +295,53 @@ func (e *Engine) ScheduleCall(at units.Time, fn func(any), arg any) Timer {
 	ev.arg = arg
 	e.sched.push(ev)
 	return Timer{eng: e, ev: ev, gen: ev.gen}
+}
+
+// InjectCall schedules fn(arg) at absolute time at with an explicit creation
+// timestamp ct, on behalf of another engine. It exists for conservative
+// parallel DES: when a packet crosses a shard boundary, the receiving shard
+// learns about it at a synchronization barrier — strictly after the sending
+// shard's wireDone callback would have scheduled the local delivery — so a
+// plain ScheduleCall would stamp ct with the injection instant and sort the
+// event after same-instant local work the single-engine run would have run
+// later. Carrying the sender-side ct restores the single-engine (at, ct, seq)
+// position. The lookahead contract makes this safe: at must be strictly in
+// the future (the barrier window guarantees it), and ct can never exceed at
+// (creation precedes delivery by at least the link propagation delay).
+//
+// The injected event counts toward live/Executed like any other, but does
+// NOT record a creation in the attached LiveLedger: the sending shard already
+// recorded it (see LiveLedger.NoteCreate), and double-counting would skew the
+// reconstructed HighWater.
+func (e *Engine) InjectCall(at, ct units.Time, fn func(any), arg any) Timer {
+	if fn == nil {
+		panic("sim: injecting nil callback")
+	}
+	if at <= e.now {
+		panic(fmt.Sprintf("sim: injecting at or before now: at=%v now=%v (lookahead violated)", at, e.now))
+	}
+	if ct > at {
+		panic(fmt.Sprintf("sim: injected creation time after delivery: ct=%v at=%v", ct, at))
+	}
+	e.injecting = true
+	ev := e.newEvent(at)
+	e.injecting = false
+	ev.ct = ct
+	ev.fn = fn
+	ev.arg = arg
+	e.sched.push(ev)
+	return Timer{eng: e, ev: ev, gen: ev.gen}
+}
+
+// NextEventAt reports the timestamp of the earliest live event, if any. A
+// parallel-DES coordinator uses it to fast-forward over empty barrier
+// windows (the null-message equivalent: "I have nothing before t").
+func (e *Engine) NextEventAt() (units.Time, bool) {
+	ev := e.peekLive(maxTime)
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
 }
 
 // After runs do after duration d from the current time.
@@ -331,6 +399,9 @@ func (e *Engine) Step() bool {
 	e.now = ev.at
 	do, fn, arg := ev.do, ev.fn, ev.arg
 	e.live--
+	if e.ledger != nil {
+		e.ledger.beginAtom(ev.at, ev.ct)
+	}
 	// Recycle before invoking: the event's generation advances first, so
 	// a Stop through a stale handle inside the callback itself correctly
 	// reports false, and the callback may immediately re-arm.

@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"sort"
+
+	"tengig/internal/units"
+)
+
+// LiveAtom is the liveness footprint of one executed event: the pop of the
+// event itself (-1) followed by every schedule (+1) and cancel (-1) its
+// callback performed, compressed to the two numbers replay needs.
+//
+//   - Net is the callback's net effect on the live-event population,
+//     including the pop: -1 + creations - cancels.
+//   - MaxUp is the maximum prefix sum of that delta sequence (the pop comes
+//     first, so MaxUp starts at -1 and only creations raise it). If the live
+//     population was L when the event was popped, the population peaked at
+//     L+MaxUp during the callback.
+//
+// Atoms are keyed by (At, CT) — the executed event's time and creation time,
+// i.e. exactly the evLess position every engine agrees on. Two atoms with
+// equal (At, CT, Net, MaxUp) are interchangeable: replay reads nothing else,
+// so any tie-break among them yields the same HighWater. That is what makes
+// ReplayHighWater well-defined across shard counts.
+type LiveAtom struct {
+	At    units.Time // time of the executed event
+	CT    units.Time // creation time of the executed event
+	Net   int32
+	MaxUp int32
+}
+
+// LiveLedger records LiveAtoms for one engine during a run. It is the
+// shard-side half of HighWater reconstruction for parallel DES: each shard
+// executes a disjoint subset of the single-engine run's events, so the union
+// of all shards' atoms — replayed in (At, CT) order against the combined
+// starting population — recovers the population trajectory the single engine
+// would have seen, without any shard knowing the others' live counts.
+//
+// An atom whose callback merely replaced itself (Net == 0) and never pushed
+// the population above its starting level (MaxUp < 1) can neither move the
+// replayed live count nor raise the high-water mark, so it is dropped at
+// close. That prunes the overwhelmingly common steady-state shape — pop one
+// event, schedule its successor — and keeps the ledger's memory proportional
+// to bursts, not to total events executed.
+type LiveLedger struct {
+	atoms   []LiveAtom
+	curAt   units.Time
+	curCT   units.Time
+	running int32
+	maxUp   int32
+	open    bool
+}
+
+// beginAtom closes the current atom (if any) and opens one for the event
+// being executed. Called by Engine.Step after the pop, before the callback.
+func (l *LiveLedger) beginAtom(at, ct units.Time) {
+	l.closeAtom()
+	l.curAt, l.curCT = at, ct
+	l.running, l.maxUp = -1, -1
+	l.open = true
+}
+
+// up records a scheduled event inside the current atom. Creations outside
+// any atom (construction, flow kickoff before the first window) are ignored:
+// the coordinator captures that phase in the replay's starting population.
+func (l *LiveLedger) up() {
+	if !l.open {
+		return
+	}
+	l.running++
+	if l.running > l.maxUp {
+		l.maxUp = l.running
+	}
+}
+
+// down records a cancelled event (Timer.Stop) inside the current atom.
+func (l *LiveLedger) down() {
+	if !l.open {
+		return
+	}
+	l.running--
+}
+
+// NoteCreate records a creation that the single-engine run would have made
+// here but that this engine hands off to another shard instead: the
+// cross-shard delivery event. The receiving shard injects the real event
+// with the ledger delta suppressed (Engine.InjectCall), so exactly one shard
+// accounts for it — this one, at the position the single run would have.
+func (l *LiveLedger) NoteCreate() { l.up() }
+
+// closeAtom appends the open atom unless it is a no-op for replay.
+func (l *LiveLedger) closeAtom() {
+	if !l.open {
+		return
+	}
+	l.open = false
+	if l.running == 0 && l.maxUp < 1 {
+		return
+	}
+	l.atoms = append(l.atoms, LiveAtom{At: l.curAt, CT: l.curCT, Net: l.running, MaxUp: l.maxUp})
+}
+
+// Atoms closes any open atom and returns everything recorded so far.
+func (l *LiveLedger) Atoms() []LiveAtom {
+	l.closeAtom()
+	return l.atoms
+}
+
+// ReplayHighWater reconstructs the high-water mark of the live-event
+// population a single engine would have reached, from the atom sets of the
+// shards that jointly executed the run. startLive is the combined live count
+// when recording began (sum of every shard's Pending at that instant) and
+// startHigh the high-water mark already reached by then; both are
+// shard-count-invariant because construction is fully replicated and every
+// pre-run timer belongs to exactly one owning shard.
+//
+// The merged atoms are sorted by their full content key (At, CT, Net,
+// MaxUp). (At, CT) is the evLess execution order shared by every engine;
+// atoms tied on the full key are interchangeable by construction, so the
+// replayed value does not depend on how a tie is broken — and therefore not
+// on the shard count. The coordinator reports this value for every shard
+// count, including one, so equality across shard counts holds by
+// construction rather than by luck.
+func ReplayHighWater(startLive, startHigh int, shards ...[]LiveAtom) int {
+	n := 0
+	for _, s := range shards {
+		n += len(s)
+	}
+	merged := make([]LiveAtom, 0, n)
+	for _, s := range shards {
+		merged = append(merged, s...)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		a, b := merged[i], merged[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.CT != b.CT {
+			return a.CT < b.CT
+		}
+		if a.Net != b.Net {
+			return a.Net < b.Net
+		}
+		return a.MaxUp < b.MaxUp
+	})
+	live, high := startLive, startHigh
+	for _, a := range merged {
+		if a.MaxUp >= 1 {
+			if peak := live + int(a.MaxUp); peak > high {
+				high = peak
+			}
+		}
+		live += int(a.Net)
+	}
+	return high
+}

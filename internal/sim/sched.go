@@ -10,12 +10,26 @@ import (
 // maxTime is the "no limit" bound for scheduler peeks.
 const maxTime = units.Time(math.MaxInt64)
 
-// evLess orders events by (time, seq); seq is unique, so the order is total
-// and FIFO among events at the same instant. Both schedulers pop in exactly
-// this order, which is why the choice of scheduler can never change a
-// simulated outcome.
+// evLess orders events by (time, creation time, seq); seq is unique, so the
+// order is total. For events scheduled by this engine, ct never decreases
+// while seq increases, so (at, ct, seq) collapses to the historical (at, seq)
+// FIFO order and nothing observable changes. The ct term exists for
+// cross-engine injection (Engine.InjectCall): a parallel-DES shard receiving
+// a remote packet stamps the event with the sending shard's creation time,
+// which slots it among same-instant local events exactly where the
+// single-engine run would have created it — seq alone cannot, because the
+// injecting engine only learns about the event at a synchronization barrier,
+// after later-created local events have already drawn their sequence numbers.
+// Both schedulers pop in exactly this order, which is why the choice of
+// scheduler can never change a simulated outcome.
 func evLess(a, b *event) bool {
-	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.ct != b.ct {
+		return a.ct < b.ct
+	}
+	return a.seq < b.seq
 }
 
 // scheduler is the event-queue strategy behind an Engine. Implementations

@@ -8,6 +8,7 @@ import (
 	"tengig/internal/host"
 	"tengig/internal/ipv4"
 	"tengig/internal/netem"
+	"tengig/internal/phys"
 	"tengig/internal/sim"
 	"tengig/internal/telemetry"
 	"tengig/internal/tools"
@@ -33,6 +34,22 @@ type Network struct {
 	// keyed for diagnostics by directional link name.
 	impairs     []*netem.Impair
 	impairNames []string
+
+	// links records the physical port pair realizing each spec link, in
+	// declaration order — the parallel-DES partitioner reads these to turn
+	// cut links into shard-boundary ports.
+	links []LinkEnds
+}
+
+// LinkEnds exposes the two directional phys.Ports realizing one spec link,
+// oriented by the spec's A/B naming: AtoB carries traffic from node A toward
+// node B.
+type LinkEnds struct {
+	Name string
+	A, B string
+	AtoB *phys.Port
+	BtoA *phys.Port
+	Prop units.Time
 }
 
 // Compile builds the spec on eng. seed feeds the per-link netem stages (only
@@ -215,6 +232,13 @@ func (n *Network) wireLink(li int, portOn map[string]map[int]int, seed int64) er
 			l.rate(hostNIC), l.prop(), l.queueCap())
 		h.NIC(0).Adapter.AttachPort(att.ToSwitch)
 		portOn[swName][li] = att.PortIdx
+		ends := LinkEnds{Name: name, A: l.A, B: l.B, Prop: l.prop()}
+		if isHostA { // A is the host: A→B rides the host's uplink
+			ends.AtoB, ends.BtoA = att.ToSwitch, att.ToDevice
+		} else {
+			ends.AtoB, ends.BtoA = att.ToDevice, att.ToSwitch
+		}
+		n.links = append(n.links, ends)
 		if l.Faults != nil {
 			up, down := l.Faults.AtoB, l.Faults.BtoA
 			if isHostB { // spec A is the switch: a_to_b is switch-to-host
@@ -239,6 +263,9 @@ func (n *Network) wireLink(li int, portOn map[string]map[int]int, seed int64) er
 		tr := fabric.AttachTrunk(n.Eng, swA, swB, name, l.rate(""), l.prop(), l.queueCap())
 		portOn[l.A][li] = tr.PortA
 		portOn[l.B][li] = tr.PortB
+		n.links = append(n.links, LinkEnds{
+			Name: name, A: l.A, B: l.B, AtoB: tr.AtoB, BtoA: tr.BtoA, Prop: l.prop(),
+		})
 		if l.Faults != nil {
 			if len(l.Faults.AtoB) > 0 {
 				im := netem.New(n.Eng, swB.In(), seed+2*int64(li))
@@ -261,6 +288,9 @@ func (n *Network) addImpair(name string, im *netem.Impair) {
 	n.impairs = append(n.impairs, im)
 	n.impairNames = append(n.impairNames, name)
 }
+
+// Links returns the physical ends of every spec link, in declaration order.
+func (n *Network) Links() []LinkEnds { return n.links }
 
 // Host returns the named host (nil if absent).
 func (n *Network) Host(name string) *host.Host { return n.hosts[name] }

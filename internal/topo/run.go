@@ -21,6 +21,44 @@ type FlowResult struct {
 	Retransmits int64
 }
 
+// IncompleteFlow identifies one flow that had not finished when a run gave
+// up, with how far it got.
+type IncompleteFlow struct {
+	Flow     string // "src->dst"
+	Src, Dst string
+	Received int64
+	Total    int64
+}
+
+// IncompleteFlowsError reports which flows were still unfinished when
+// RunFlows (or a parallel-DES run) hit its deadline or stalled. A typed
+// error with the per-flow byte counts is what makes a wedged run — a stuck
+// shard barrier, a blackholed route — debuggable: the caller can see
+// immediately whether a flow never started (0 bytes) or died mid-transfer.
+type IncompleteFlowsError struct {
+	Topo    string
+	Timeout units.Time
+	// Stalled marks a run that ran out of events (nothing left to execute)
+	// rather than out of time.
+	Stalled bool
+	// At is the simulated time the run gave up.
+	At         units.Time
+	Incomplete []IncompleteFlow
+}
+
+// Error implements error, naming every unfinished flow.
+func (e *IncompleteFlowsError) Error() string {
+	verb := "incomplete after"
+	if e.Stalled {
+		verb = "stalled (no events left) at"
+	}
+	msg := fmt.Sprintf("topo %s: %d flows %s %v:", e.Topo, len(e.Incomplete), verb, e.Timeout)
+	for _, f := range e.Incomplete {
+		msg += fmt.Sprintf(" %s (%d of %d bytes)", f.Flow, f.Received, f.Total)
+	}
+	return msg
+}
+
 // RunFlows drives every declared flow concurrently to completion — all
 // senders start at the same simulated instant, as the paper's aggregation
 // experiments do — and reports per-flow goodput. A flow that has not
@@ -55,18 +93,22 @@ func (n *Network) RunFlows(timeout units.Time) ([]FlowResult, error) {
 		p.Src.Send(states[i].total, n.flows[i].Payload, true, nil)
 	}
 	deadline := start + timeout
+	stalled := false
 	for remaining > 0 && n.Eng.Now() < deadline {
 		if !n.Eng.Step() {
+			stalled = true
 			break
 		}
 	}
 	out := make([]FlowResult, len(n.Pairs))
-	var stuck []string
+	var stuck []IncompleteFlow
 	for i, p := range n.Pairs {
 		f, st := n.flows[i], states[i]
 		if st.doneAt == 0 {
-			stuck = append(stuck, fmt.Sprintf("%s->%s (%d of %d bytes)",
-				f.Src, f.Dst, st.received, st.total))
+			stuck = append(stuck, IncompleteFlow{
+				Flow: f.Src + "->" + f.Dst, Src: f.Src, Dst: f.Dst,
+				Received: st.received, Total: st.total,
+			})
 			continue
 		}
 		elapsed := st.doneAt - start
@@ -80,8 +122,10 @@ func (n *Network) RunFlows(timeout units.Time) ([]FlowResult, error) {
 		}
 	}
 	if len(stuck) > 0 {
-		return nil, fmt.Errorf("topo %s: %d flows incomplete after %v: %v",
-			n.Spec.Name, len(stuck), timeout, stuck)
+		return nil, &IncompleteFlowsError{
+			Topo: n.Spec.Name, Timeout: timeout,
+			Stalled: stalled, At: n.Eng.Now(), Incomplete: stuck,
+		}
 	}
 	return out, nil
 }

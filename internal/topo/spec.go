@@ -49,6 +49,11 @@ type Spec struct {
 	// Flows are the measurement transfers to connect (in order; flow IDs
 	// are assigned 1, 2, ... by position).
 	Flows []FlowSpec `json:"flows,omitempty"`
+
+	// Shards suggests a parallel-DES shard count for this topology (see
+	// internal/pdes). 0 leaves the choice to the runner; a -shards flag
+	// overrides the spec either way.
+	Shards int `json:"shards,omitempty"`
 }
 
 // TuningSpec is the JSON form of core.Tuning: zero-valued fields inherit the
@@ -127,6 +132,9 @@ type HostSpec struct {
 	Addr int `json:"addr,omitempty"`
 	// Tuning overrides the spec-level tuning for this host.
 	Tuning *TuningSpec `json:"tuning,omitempty"`
+	// Shard pins this host to a parallel-DES shard, overriding the
+	// partitioner (nil = automatic placement).
+	Shard *int `json:"shard,omitempty"`
 }
 
 // SwitchSpec declares one forwarding node.
@@ -139,6 +147,9 @@ type SwitchSpec struct {
 	BackplaneGbps float64 `json:"backplane_gbps,omitempty"`
 	// HopLimit overrides fabric.DefaultHopLimit (0 keeps the default).
 	HopLimit int `json:"hop_limit,omitempty"`
+	// Shard pins this switch to a parallel-DES shard, overriding the
+	// partitioner (nil = automatic placement).
+	Shard *int `json:"shard,omitempty"`
 }
 
 // LinkFaults attaches time-scheduled netem fault scripts to a link, one per
@@ -258,6 +269,12 @@ func (s *Spec) Validate() error {
 		if _, err := h.Tuning.Resolve(); err != nil {
 			return fmt.Errorf("topo %s: host %s: %w", s.Name, h.Name, err)
 		}
+		if h.Shard != nil && *h.Shard < 0 {
+			return fmt.Errorf("topo %s: host %s: negative shard pin %d", s.Name, h.Name, *h.Shard)
+		}
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("topo %s: negative shards %d", s.Name, s.Shards)
 	}
 	if _, err := s.Tuning.Resolve(); err != nil {
 		return fmt.Errorf("topo %s: %w", s.Name, err)
@@ -282,6 +299,9 @@ func (s *Spec) Validate() error {
 		}
 		if sw.HopLimit < 0 {
 			return fmt.Errorf("topo %s: switch %s: negative hop limit", s.Name, sw.Name)
+		}
+		if sw.Shard != nil && *sw.Shard < 0 {
+			return fmt.Errorf("topo %s: switch %s: negative shard pin %d", s.Name, sw.Name, *sw.Shard)
 		}
 	}
 	hostLinks := make(map[string]int)
