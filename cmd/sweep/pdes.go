@@ -16,11 +16,34 @@ import (
 )
 
 // defaultPDESTopology drives -pdes-bench when no -topology is given: the
-// 16-switch metro-area torus with 32 concurrent flows.
+// 16-switch metro-area torus with 32 concurrent flows and millisecond-scale
+// propagation — long lookahead, wide windows, compute-bound shards.
 const defaultPDESTopology = "examples/topologies/torus-grid.json"
+
+// pdesShortTopology is the second -pdes-bench scenario: a 32-host LAN star
+// with sub-microsecond propagation, so the barrier windows are only hundreds
+// of simulated nanoseconds wide and synchronization cost dominates.
+const pdesShortTopology = "examples/topologies/lan-star.json"
 
 // pdesBenchShards are the shard counts a -pdes-bench run measures.
 var pdesBenchShards = []int{1, 2, 4}
+
+// pdesModeOpts parses the -pdes-barrier/-pdes-replica/-pdes-sched flags.
+func pdesModeOpts() (pdes.Barrier, pdes.Replica, pdes.Sched) {
+	bar, err := pdes.ParseBarrier(*pdesBar)
+	if err != nil {
+		log.Fatalf("sweep: %v", err)
+	}
+	rep, err := pdes.ParseReplica(*pdesRep)
+	if err != nil {
+		log.Fatalf("sweep: %v", err)
+	}
+	sch, err := pdes.ParseSched(*pdesSch)
+	if err != nil {
+		log.Fatalf("sweep: %v", err)
+	}
+	return bar, rep, sch
+}
 
 // runTopologySharded is runTopology's parallel twin: it drives the topology
 // through the conservative parallel-DES runner and prints the identical flow
@@ -31,7 +54,11 @@ func runTopologySharded(path string, shards int) {
 	if err != nil {
 		log.Fatalf("topology: %v", err)
 	}
-	opts := pdes.Options{Shards: shards, Seed: *seed, Metrics: *metricsF}
+	bar, rep, sch := pdesModeOpts()
+	opts := pdes.Options{
+		Shards: shards, Seed: *seed, Metrics: *metricsF,
+		Barrier: bar, Replica: rep, Sched: sch,
+	}
 	if *telemDir != "" {
 		opts.Telemetry = &telemetry.Options{Enabled: true}
 	}
@@ -48,8 +75,17 @@ func runTopologySharded(path string, shards int) {
 
 	fmt.Printf("== topology %s: %d hosts, %d switches, %d links, %d flows ==\n",
 		spec.Name, len(spec.Hosts), len(spec.Switches), len(spec.Links), len(spec.Flows))
-	fmt.Printf("parallel: %d shards, %d cut links, lookahead %v, %d windows\n",
-		res.Plan.Shards, len(res.Plan.CutLinks), res.Plan.Lookahead, res.Windows)
+	fmt.Printf("parallel: %d shards, %d cut links, lookahead %v, %v barrier, %v replicas, %v scheduler\n",
+		res.Plan.Shards, len(res.Plan.CutLinks), res.Plan.Lookahead, bar, r.Replica(), r.Scheduler())
+	if fb := r.SparseFallback(); fb != nil {
+		fmt.Printf("parallel: sparse replicas unavailable, using full: %v\n", fb)
+	}
+	var meanSync time.Duration
+	if res.Windows > 0 {
+		meanSync = res.SyncWall / time.Duration(uint64(res.Plan.Shards)*res.Windows)
+	}
+	fmt.Printf("sync: %d windows, mean window sync %v per shard (%v total blocked across shards)\n",
+		res.Windows, meanSync, res.SyncWall.Round(time.Microsecond))
 	fmt.Printf("%-20s %-12s %-12s %-10s %s\n", "flow", "bytes", "elapsed", "Gb/s", "retrans")
 	for _, fr := range res.Flows {
 		fmt.Printf("%-20s %-12d %-12v %-10.3f %d\n",
@@ -82,43 +118,14 @@ func runTopologySharded(path string, shards int) {
 	}
 }
 
-// writePDESBench measures the sharded runner's wall-clock scaling over the
-// benchmark topology and writes BENCH_pdes.json-shaped output to path. The
-// file self-describes the host (CPU count) because wall-clock speedup means
-// nothing without it.
-func writePDESBench(path string) {
-	topoPath := *topoFile
-	if topoPath == "" {
-		topoPath = defaultPDESTopology
-	}
-	const reps = 5
-	cpus := runtime.NumCPU()
-	pf := &bench.PDESFile{
-		Meta: &bench.Meta{
-			Scheduler: "heap", // the parallel runner always uses the heap scheduler
-			Seed:      *seed,
-			Topology:  topoPath,
-			Reps:      reps,
-			CPUs:      cpus,
-		},
-	}
-	maxShards := 0
-	for _, n := range pdesBenchShards {
-		if n > maxShards {
-			maxShards = n
-		}
-	}
-	if cpus < maxShards {
-		pf.Meta.Note = fmt.Sprintf(
-			"measured on a %d-CPU host: wall ratios record synchronization overhead, not parallel speedup; the speedup floor gates only on hosts with >= %d CPUs",
-			cpus, maxShards)
-	}
-	fmt.Printf("pdes bench: %s, %d reps per shard count, %d CPUs\n", topoPath, reps, cpus)
+// measureSeries runs one topology's scaling series and prints each line.
+func measureSeries(topoPath string, reps int, bar pdes.Barrier, rep pdes.Replica) []bench.PDESEntry {
 	wall1 := 0.0
+	var out []bench.PDESEntry
 	for _, n := range pdesBenchShards {
-		wall, err := bench.MeasurePDES(topoPath, *seed, n, reps)
+		wall, err := bench.MeasurePDES(topoPath, *seed, n, reps, bar, rep)
 		if err != nil {
-			log.Fatalf("pdes bench: shards=%d: %v", n, err)
+			log.Fatalf("pdes bench: %s shards=%d: %v", topoPath, n, err)
 		}
 		if n == 1 {
 			wall1 = wall
@@ -127,8 +134,66 @@ func writePDESBench(path string) {
 		if wall > 0 && wall1 > 0 {
 			e.Speedup = wall1 / wall
 		}
-		pf.PDES = append(pf.PDES, e)
+		out = append(out, e)
 		fmt.Printf("  shards=%d  wall %8.2f ms  speedup %.2fx\n", n, e.WallMS, e.Speedup)
+	}
+	return out
+}
+
+// writePDESBench measures the sharded runner's wall-clock scaling over the
+// long-lookahead benchmark topology and the short-lookahead LAN scenario,
+// then writes BENCH_pdes.json-shaped output to path. The file self-describes
+// the host (CPU count) and the runner modes (barrier, replica, scheduler)
+// because wall-clock speedup means nothing without them.
+func writePDESBench(path string) {
+	topoPath := *topoFile
+	if topoPath == "" {
+		topoPath = defaultPDESTopology
+	}
+	const reps = 5
+	cpus := runtime.NumCPU()
+	bar, rep, sch := pdesModeOpts()
+	// Resolve what the runner will actually use for the primary topology, so
+	// the meta records modes, not flag spellings.
+	spec, err := topo.Load(topoPath)
+	if err != nil {
+		log.Fatalf("pdes bench: %v", err)
+	}
+	maxShards := 0
+	for _, n := range pdesBenchShards {
+		if n > maxShards {
+			maxShards = n
+		}
+	}
+	probe, err := pdes.New(spec, pdes.Options{Shards: maxShards, Seed: *seed, Barrier: bar, Replica: rep, Sched: sch})
+	if err != nil {
+		log.Fatalf("pdes bench: %v", err)
+	}
+	pf := &bench.PDESFile{
+		Meta: &bench.Meta{
+			Scheduler: probe.Scheduler().String(),
+			Barrier:   bar.String(),
+			Replica:   probe.Replica().String(),
+			Seed:      *seed,
+			Topology:  topoPath,
+			Reps:      reps,
+			CPUs:      cpus,
+		},
+	}
+	if cpus < maxShards {
+		pf.Meta.Note = fmt.Sprintf(
+			"measured on a %d-CPU host: wall ratios record synchronization overhead, not parallel speedup; the speedup floors gate only on hosts with >= %d CPUs",
+			cpus, maxShards)
+	}
+	fmt.Printf("pdes bench: %s, %d reps per shard count, %d CPUs, %s barrier, %s replicas\n",
+		topoPath, reps, cpus, pf.Meta.Barrier, pf.Meta.Replica)
+	pf.PDES = measureSeries(topoPath, reps, bar, rep)
+	if topoPath != pdesShortTopology {
+		fmt.Printf("pdes bench (short lookahead): %s\n", pdesShortTopology)
+		pf.Short = &bench.PDESScenario{
+			Topology: pdesShortTopology,
+			Entries:  measureSeries(pdesShortTopology, reps, bar, rep),
+		}
 	}
 	data, err := json.MarshalIndent(pf, "", "  ")
 	if err != nil {

@@ -84,6 +84,11 @@ type Meta struct {
 	CPUs int `json:"cpus,omitempty"`
 	// Reps is how many runs each wall-clock median covers.
 	Reps int `json:"reps,omitempty"`
+	// Barrier and Replica record the parallel runner's synchronization and
+	// replication modes (BENCH_pdes.json), so the gate re-measures the same
+	// configuration the baseline was taken with.
+	Barrier string `json:"barrier,omitempty"`
+	Replica string `json:"replica,omitempty"`
 	// Note carries free-form measurement caveats.
 	Note string `json:"note,omitempty"`
 }

@@ -19,30 +19,68 @@ type PDESEntry struct {
 	Speedup float64 `json:"speedup"`
 }
 
-// PDESFile is BENCH_pdes.json: wall-clock scaling of the sharded simulation
-// runner over one benchmark topology.
-type PDESFile struct {
-	Meta *Meta       `json:"meta,omitempty"`
-	PDES []PDESEntry `json:"pdes"`
+// PDESScenario is one topology's scaling series inside BENCH_pdes.json.
+type PDESScenario struct {
+	Topology string      `json:"topology"`
+	Entries  []PDESEntry `json:"entries"`
 }
 
-// pdesSpeedupFloor is the contract at the largest recorded shard count: the
-// parallel runner must at least halve the wall clock. It gates only on hosts
-// with enough CPUs to run the shards in parallel.
+// PDESFile is BENCH_pdes.json: wall-clock scaling of the sharded simulation
+// runner. PDES holds the primary (long-lookahead) topology's series; Short,
+// when present, holds a short-lookahead LAN topology whose sub-microsecond
+// windows stress the barrier itself.
+type PDESFile struct {
+	Meta  *Meta         `json:"meta,omitempty"`
+	PDES  []PDESEntry   `json:"pdes"`
+	Short *PDESScenario `json:"short,omitempty"`
+}
+
+// pdesSpeedupFloor is the contract at the largest recorded shard count on
+// the primary topology: the parallel runner must at least halve the wall
+// clock. It gates only on hosts with enough CPUs to run the shards in
+// parallel.
 const pdesSpeedupFloor = 2.0
+
+// pdesShortFloor is the short-lookahead contract: with windows only
+// hundreds of nanoseconds of simulated time wide, the barrier is the run —
+// the runner must still beat the 1-shard wall clock, not merely tread water.
+const pdesShortFloor = 1.0
 
 // pdesReps is how many runs a measurement takes the median of.
 const pdesReps = 3
 
+// pdesModes resolves the baseline's recorded barrier/replica strings into
+// runner options; empty strings mean the runner defaults, so older baselines
+// without the fields keep working.
+func pdesModes(meta *Meta) (pdes.Barrier, pdes.Replica, error) {
+	var bar pdes.Barrier
+	var rep pdes.Replica
+	var err error
+	if meta == nil {
+		return bar, rep, nil
+	}
+	if meta.Barrier != "" {
+		if bar, err = pdes.ParseBarrier(meta.Barrier); err != nil {
+			return bar, rep, err
+		}
+	}
+	if meta.Replica != "" {
+		if rep, err = pdes.ParseReplica(meta.Replica); err != nil {
+			return bar, rep, err
+		}
+	}
+	return bar, rep, nil
+}
+
 // MeasurePDES runs the topology's flows under the sharded runner and
 // returns the median wall-clock milliseconds over reps runs (first warm-up
 // run discarded — it pays compile and allocator warm-up).
-func MeasurePDES(topoPath string, seed int64, shards, reps int) (float64, error) {
+func MeasurePDES(topoPath string, seed int64, shards, reps int, bar pdes.Barrier, rep pdes.Replica) (float64, error) {
 	spec, err := topo.Load(topoPath)
 	if err != nil {
 		return 0, err
 	}
-	r, err := pdes.New(spec, pdes.Options{Shards: shards, Seed: seed})
+	r, err := pdes.New(spec, pdes.Options{Shards: shards, Seed: seed, Barrier: bar, Replica: rep})
 	if err != nil {
 		return 0, err
 	}
@@ -61,11 +99,12 @@ func MeasurePDES(topoPath string, seed int64, shards, reps int) (float64, error)
 	return walls[len(walls)/2], nil
 }
 
-// ComparePDES re-measures the baseline's topology at each recorded shard
-// count and gates the speedup floor at the largest one. Speedup is a
-// property of parallel hardware: on hosts with fewer CPUs than shards the
-// entries are skipped with the reason visible in the report, never silently
-// passed.
+// ComparePDES re-measures each recorded scaling series — the primary
+// topology against the 2x floor, the short-lookahead scenario (if recorded)
+// against the stay-ahead floor — in the baseline's own barrier/replica
+// modes. Speedup is a property of parallel hardware: on hosts with fewer
+// CPUs than shards the entries are skipped with the reason visible in the
+// report, never silently passed.
 func ComparePDES(pf *PDESFile) *Report {
 	rep := &Report{}
 	if len(pf.PDES) == 0 {
@@ -82,28 +121,43 @@ func ComparePDES(pf *PDESFile) *Report {
 		rep.Skipped = append(rep.Skipped, "pdes: baseline meta names no topology")
 		return rep
 	}
+	bar, repl, err := pdesModes(pf.Meta)
+	if err != nil {
+		rep.Skipped = append(rep.Skipped, fmt.Sprintf("pdes: baseline meta: %v", err))
+		return rep
+	}
+	gateSeries(rep, "pdes", topoPath, seed, bar, repl, pf.PDES, pdesSpeedupFloor)
+	if pf.Short != nil && len(pf.Short.Entries) > 0 && pf.Short.Topology != "" {
+		gateSeries(rep, "pdes short", pf.Short.Topology, seed, bar, repl, pf.Short.Entries, pdesShortFloor)
+	}
+	return rep
+}
+
+// gateSeries re-measures one topology's scaling series and records a finding
+// when the speedup at the largest shard count falls under floor.
+func gateSeries(rep *Report, label, topoPath string, seed int64, bar pdes.Barrier, repl pdes.Replica, entries []PDESEntry, floor float64) {
 	maxShards := 0
-	for _, e := range pf.PDES {
+	for _, e := range entries {
 		if e.Shards > maxShards {
 			maxShards = e.Shards
 		}
 	}
 	if maxShards < 2 {
-		rep.Skipped = append(rep.Skipped, "pdes: baseline records no multi-shard entry to floor")
-		return rep
+		rep.Skipped = append(rep.Skipped, fmt.Sprintf("%s: baseline records no multi-shard entry to floor", label))
+		return
 	}
 	if cpus := runtime.NumCPU(); cpus < maxShards {
 		rep.Skipped = append(rep.Skipped,
-			fmt.Sprintf("pdes: host has %d CPUs for %d shards (speedup needs parallel hardware)", cpus, maxShards))
-		return rep
+			fmt.Sprintf("%s: host has %d CPUs for %d shards (speedup needs parallel hardware)", label, cpus, maxShards))
+		return
 	}
 	wall1 := 0.0
-	walls := make(map[int]float64, len(pf.PDES))
-	for _, e := range pf.PDES {
-		w, err := MeasurePDES(topoPath, seed, e.Shards, pdesReps)
+	walls := make(map[int]float64, len(entries))
+	for _, e := range entries {
+		w, err := MeasurePDES(topoPath, seed, e.Shards, pdesReps, bar, repl)
 		if err != nil {
-			rep.Skipped = append(rep.Skipped, fmt.Sprintf("pdes: shards=%d: %v", e.Shards, err))
-			return rep
+			rep.Skipped = append(rep.Skipped, fmt.Sprintf("%s: shards=%d: %v", label, e.Shards, err))
+			return
 		}
 		walls[e.Shards] = w
 		if e.Shards == 1 {
@@ -111,17 +165,16 @@ func ComparePDES(pf *PDESFile) *Report {
 		}
 	}
 	if wall1 == 0 {
-		rep.Skipped = append(rep.Skipped, "pdes: baseline records no 1-shard entry to compute speedup against")
-		return rep
+		rep.Skipped = append(rep.Skipped, fmt.Sprintf("%s: baseline records no 1-shard entry to compute speedup against", label))
+		return
 	}
 	rep.Compared++
-	if got := wall1 / walls[maxShards]; got < pdesSpeedupFloor {
+	if got := wall1 / walls[maxShards]; got < floor {
 		rep.Regressions = append(rep.Regressions, Finding{
-			Name:     fmt.Sprintf("pdes shards=%d", maxShards),
+			Name:     fmt.Sprintf("%s shards=%d", label, maxShards),
 			Metric:   "speedup",
-			Baseline: pdesSpeedupFloor, Current: got,
-			DeltaPct: relDelta(pdesSpeedupFloor, got) * 100,
+			Baseline: floor, Current: got,
+			DeltaPct: relDelta(floor, got) * 100,
 		})
 	}
-	return rep
 }

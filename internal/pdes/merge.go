@@ -14,9 +14,20 @@ import (
 // Every merged sequence is assembled in a declaration-order walk with each
 // element taken from its owning shard, so the output order never depends on
 // which shard finished first.
-func (r *Runner) merge(finals []shardRes, t0 units.Time, compiled uint64, hwCompile, startLive int, windows uint64) (*Result, error) {
+func (r *Runner) merge(finals, setups []shardRes, c *coord, startLive int) (*Result, error) {
 	owner := r.plan.Owner
-	res := &Result{Plan: r.plan, Windows: windows}
+	t0 := c.t0
+	// The single-engine compile baseline: with full replicas every shard's
+	// compile count is that baseline; with sparse replicas each shard
+	// compiled a different slice, so the reference compile supplies it.
+	compiled, hwCompile := setups[0].executed, setups[0].hwCompile
+	if r.opts.Replica == ReplicaSparse {
+		compiled, hwCompile = r.ref.compiled, r.ref.hw
+	}
+	res := &Result{Plan: r.plan, Windows: c.windows}
+	for i := range finals {
+		res.SyncWall += finals[i].syncWall
+	}
 
 	// Flow results: bytes and completion time live where the sink is,
 	// retransmit counts where the source is.
@@ -46,14 +57,16 @@ func (r *Runner) merge(finals []shardRes, t0 units.Time, compiled uint64, hwComp
 		res.Fabric = append(res.Fabric, finals[owner[sw.Name]].fabric[si])
 	}
 
-	// Engine counters. Each shard's Executed is its compile-replica count
-	// plus its share of run events; compile events are common, run events
-	// are disjoint and exhaustive (one wireDone at the source plus one
-	// injected delivery at the sink per crossing — exactly the single
-	// engine's pair), so the single-engine total reassembles exactly.
+	// Engine counters. Each shard's Executed is its own compile count plus
+	// its share of run events; run events are disjoint and exhaustive (one
+	// wireDone at the source plus one injected delivery at the sink per
+	// crossing — exactly the single engine's pair), so subtracting each
+	// shard's compile count and adding the single-engine compile baseline
+	// reassembles the single-engine total exactly — for full replicas
+	// (where every setup count equals the baseline) and sparse ones alike.
 	res.Events = compiled
 	for i := range finals {
-		res.Events += finals[i].executed - compiled
+		res.Events += finals[i].executed - setups[i].executed
 	}
 
 	if r.opts.Telemetry != nil {

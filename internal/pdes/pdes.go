@@ -7,30 +7,52 @@
 //
 // The topology is partitioned into shards (topo.Partition): contiguous runs
 // of a BFS linearization of the switch graph, balanced by event weight, with
-// explicit per-node pins honored. Every shard compiles the ENTIRE spec on
-// its own engine with the same seed — full replication — so construction,
-// addressing, and the TCP handshakes are bit-identical everywhere; a shard
-// then activates only the flows whose endpoints it owns (sends from local
-// sources, auto-reads at local sinks, telemetry on local connections), so
-// foreign replicas stay silent and execute no events.
+// explicit per-node pins honored. Each shard compiles a replica of the spec
+// on its own engine with the same seed, then activates only the flows whose
+// endpoints it owns (sends from local sources, auto-reads at local sinks,
+// telemetry on local connections), so foreign replicas stay silent and
+// execute no events. The replica comes in two shapes:
+//
+//   - Full (ReplicaFull): the entire spec, everywhere. Construction,
+//     addressing, and TCP handshakes are trivially bit-identical across
+//     shards, at O(topology) memory per shard.
+//   - Sparse (ReplicaSparse, the default where eligible): only the owned
+//     nodes, the one-hop stubs across cut links, and the nodes traversed by
+//     flows whose packets touch the shard (topo.BuildSubset). Skipped
+//     foreign handshakes become exact clock advances (sim.AdvanceTo) of
+//     their reference durations, recorded by one throwaway full compile in
+//     New; any timing deviation is detected at compile, not silently
+//     diverged. Memory drops to O(shard + cut), and because the replica no
+//     longer spans foreign far-future timers, the timing-wheel scheduler is
+//     the default again (bounded per-window peeks stay cheap — see
+//     sim.NextEventAtWithin); the heap remains the fallback.
 //
 // Packets reach foreign nodes through boundary ports: on each shard, every
 // cut-link direction whose receiver is foreign gets a phys handoff hook that
-// clones the packet at serialization-complete time and queues it as a
-// time-stamped cross-shard message (arrival = now + propagation). Messages
-// are exchanged at window barriers: all shards run [W, W+L) where L, the
-// lookahead, is the minimum propagation delay over all links; a message
-// created in a window arrives no earlier than the next (arrival >= ct + L),
-// so injecting each window's messages at its barrier can never violate
-// causality. When every shard is idle the coordinator fast-forwards to the
-// window containing the earliest future work — the deterministic equivalent
-// of a null message ("nothing before t") — so idle grids cost barriers, not
-// simulated windows.
+// clones the packet at serialization-complete time and queues it into a
+// per-destination-shard slot as a time-stamped cross-shard message (arrival
+// = now + propagation). Messages are exchanged at window barriers: all
+// shards run [W, W+L) where L, the lookahead, is the minimum propagation
+// delay over all links; a message created in a window arrives no earlier
+// than the next (arrival >= ct + L), so injecting each window's messages at
+// its barrier can never violate causality. When every shard is idle the
+// coordinator fast-forwards to the window containing the earliest future
+// work — the deterministic equivalent of a null message ("nothing before
+// t") — so idle grids cost barriers, not simulated windows.
+//
+// The barrier itself also comes in two shapes (Options.Barrier): the
+// channel driver round-trips a command and a response per shard per window
+// through the coordinator goroutine, while the spin driver (default)
+// synchronizes the shards on a sense-reversing spin barrier whose last
+// arriver runs the coordinator logic in-line and releases everyone with one
+// atomic flip — see barrier.go and spin.go. Both feed the same coord
+// decision code, so they execute identical window sequences.
 //
 // # Determinism
 //
 // The crown-jewel constraint: telemetry, metrics, and fabric counters are
-// byte-identical for every shard count. Three mechanisms carry the proof:
+// byte-identical for every shard count, barrier, and replica mode. The
+// mechanisms that carry the proof:
 //
 //   - Event order. Engines order events by (time, creation time, seq);
 //     cross-shard deliveries are injected with the sender-side creation time
@@ -42,6 +64,13 @@
 //     where the partition falls. Every shard count executes the same event
 //     set, including the tail events between the last flow's completion and
 //     its window's end.
+//   - Compile alignment. Full replicas replay the whole construction;
+//     sparse replicas replay exactly the slice of it their packets can
+//     observe and advance the clock over the rest, with per-flow quiescence
+//     and handshake-duration equality asserted against the reference
+//     compile (topo.CompileSubset) — so every replica enters the window
+//     loop at the same t0 with the same local state the full compile
+//     produces.
 //   - Engine counters. Executed sums exactly (each event runs on one shard;
 //     a boundary crossing costs one wireDone at the source plus one injected
 //     delivery at the destination, same as the single engine). HighWater is
@@ -55,13 +84,116 @@ package pdes
 
 import (
 	"fmt"
-	"sort"
+	"time"
 
 	"tengig/internal/sim"
 	"tengig/internal/telemetry"
 	"tengig/internal/topo"
 	"tengig/internal/units"
 )
+
+// Barrier selects the per-window synchronization implementation.
+type Barrier uint8
+
+const (
+	// BarrierSpin synchronizes shards on a sense-reversing spin barrier with
+	// a spin/park ladder; the coordinator logic runs in the last arriver.
+	BarrierSpin Barrier = iota
+	// BarrierChan round-trips window commands and responses through the
+	// coordinator goroutine's channels (the original implementation).
+	BarrierChan
+)
+
+func (b Barrier) String() string {
+	if b == BarrierChan {
+		return "chan"
+	}
+	return "spin"
+}
+
+// ParseBarrier parses "spin" or "chan".
+func ParseBarrier(s string) (Barrier, error) {
+	switch s {
+	case "spin":
+		return BarrierSpin, nil
+	case "chan":
+		return BarrierChan, nil
+	}
+	return 0, fmt.Errorf("pdes: unknown barrier %q (want spin or chan)", s)
+}
+
+// Replica selects how much of the topology each shard compiles.
+type Replica uint8
+
+const (
+	// ReplicaAuto tries sparse and falls back to full if the topology is
+	// ineligible (Runner.SparseFallback reports why).
+	ReplicaAuto Replica = iota
+	// ReplicaFull compiles the whole spec on every shard.
+	ReplicaFull
+	// ReplicaSparse compiles each shard's subset only; New fails if the
+	// topology is ineligible.
+	ReplicaSparse
+)
+
+func (m Replica) String() string {
+	switch m {
+	case ReplicaFull:
+		return "full"
+	case ReplicaSparse:
+		return "sparse"
+	}
+	return "auto"
+}
+
+// ParseReplica parses "auto", "full", or "sparse".
+func ParseReplica(s string) (Replica, error) {
+	switch s {
+	case "auto":
+		return ReplicaAuto, nil
+	case "full":
+		return ReplicaFull, nil
+	case "sparse":
+		return ReplicaSparse, nil
+	}
+	return 0, fmt.Errorf("pdes: unknown replica mode %q (want auto, full, or sparse)", s)
+}
+
+// Sched selects the shard engines' event scheduler.
+type Sched uint8
+
+const (
+	// SchedAuto uses the timing wheel for sparse replicas and the heap for
+	// full ones (a full replica's wheel spans the whole simulated time while
+	// holding only a shard's slice of the events, so per-window peeks would
+	// pay full-span slot scans; the heap peeks in O(1)).
+	SchedAuto Sched = iota
+	SchedHeap
+	SchedWheel
+)
+
+func (s Sched) String() string {
+	switch s {
+	case SchedHeap:
+		return "heap"
+	case SchedWheel:
+		return "wheel"
+	}
+	return "auto"
+}
+
+// ParseSched parses "auto", "heap", or "wheel".
+func ParseSched(s string) (Sched, error) {
+	switch s {
+	case "auto":
+		return SchedAuto, nil
+	case "heap":
+		return SchedHeap, nil
+	case "wheel":
+		return SchedWheel, nil
+	}
+	return 0, fmt.Errorf("pdes: unknown scheduler %q (want auto, heap, or wheel)", s)
+}
 
 // Options configures a parallel run.
 type Options struct {
@@ -81,6 +213,17 @@ type Options struct {
 	Telemetry *telemetry.Options
 	// Metrics folds the run into a fleet-level metrics accumulator.
 	Metrics bool
+	// Barrier picks the window synchronization (default BarrierSpin).
+	Barrier Barrier
+	// Replica picks the shard replica shape (default ReplicaAuto: sparse
+	// where eligible, full otherwise).
+	Replica Replica
+	// Sched picks the shard engines' scheduler (default SchedAuto).
+	Sched Sched
+	// SpinBudget overrides the spin barrier's tight-spin iteration count:
+	// 0 means adaptive (park almost immediately when the host has fewer
+	// CPUs than shards), < 0 means park immediately.
+	SpinBudget int
 }
 
 // Result is a completed parallel run.
@@ -104,6 +247,18 @@ type Result struct {
 	Plan *topo.PartitionPlan
 	// Windows counts executed barrier windows (diagnostics).
 	Windows uint64
+	// SyncWall is wall-clock time shards spent blocked on window
+	// synchronization, summed over shards (diagnostics; divide by
+	// Plan.Shards * Windows for the mean per-shard window sync cost).
+	SyncWall time.Duration
+}
+
+// sparseRef is the reference full compile's fingerprint, recorded once in
+// New and checked against every sparse replica.
+type sparseRef struct {
+	t0       units.Time
+	compiled uint64
+	hw       int
 }
 
 // Runner executes a topology under conservative parallel DES. A Runner is
@@ -114,9 +269,16 @@ type Runner struct {
 	plan    *topo.PartitionPlan
 	opts    Options
 	engines []*sim.Engine
+
+	// Sparse-replica state (nil/zero under ReplicaFull).
+	subs           []*topo.Subset
+	ref            sparseRef
+	sparseFallback error
 }
 
 // New partitions the spec and validates that a parallel run can be exact.
+// Under ReplicaAuto/ReplicaSparse it also runs one throwaway reference
+// compile to record per-flow handshake clocks and build each shard's subset.
 func New(spec *topo.Spec, opts Options) (*Runner, error) {
 	if opts.Shards == 0 {
 		opts.Shards = spec.Shards
@@ -142,28 +304,110 @@ func New(spec *topo.Spec, opts Options) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Runner{spec: spec, plan: plan, opts: opts}, nil
+	r := &Runner{spec: spec, plan: plan, opts: opts}
+	if opts.Shards <= 1 {
+		// A single shard compiles everything either way; normalize so Run
+		// takes the plain full-compile path.
+		r.opts.Replica = ReplicaFull
+	} else if r.opts.Replica != ReplicaFull {
+		if err := r.prepareSparse(); err != nil {
+			if r.opts.Replica == ReplicaSparse {
+				return nil, err
+			}
+			r.opts.Replica = ReplicaFull
+			r.sparseFallback = err
+		}
+	}
+	return r, nil
+}
+
+// prepareSparse runs the reference full compile on a scratch engine,
+// recording the clock after each flow's handshake and asserting per-flow
+// quiescence, then builds each shard's subset from the partition and the
+// per-flow FIB walks. The scratch engine and network are dropped afterwards,
+// so the retained per-shard cost is the subsets alone.
+func (r *Runner) prepareSparse() error {
+	spec := r.spec
+	eng := sim.NewEngineWith(r.opts.Seed, sim.SchedWheel)
+	connT := make([]units.Time, len(spec.Flows))
+	pendAfter := -1
+	obs := &topo.CompileObserver{AfterConnect: func(i int) {
+		connT[i] = eng.Now()
+		if pendAfter < 0 && eng.Pending() != 0 {
+			pendAfter = i
+		}
+	}}
+	if _, err := topo.CompileObserved(eng, spec, r.opts.Seed, obs); err != nil {
+		return fmt.Errorf("pdes: sparse reference compile: %w", err)
+	}
+	if pendAfter >= 0 {
+		return fmt.Errorf("pdes: topo %s: flow %d's handshake leaves events pending; sparse replicas need per-flow compile quiescence",
+			spec.Name, pendAfter)
+	}
+	paths, err := topo.FlowPaths(spec)
+	if err != nil {
+		return fmt.Errorf("pdes: topo %s: sparse replicas ineligible: %w", spec.Name, err)
+	}
+	r.subs = make([]*topo.Subset, r.plan.Shards)
+	for i := range r.subs {
+		r.subs[i] = topo.BuildSubset(spec, r.plan, i, paths)
+		r.subs[i].ConnectAt = connT
+	}
+	r.ref = sparseRef{t0: eng.Now(), compiled: eng.Executed, hw: eng.HighWater}
+	r.opts.Replica = ReplicaSparse
+	return nil
 }
 
 // Plan returns the partition the runner will execute.
 func (r *Runner) Plan() *topo.PartitionPlan { return r.plan }
 
+// Replica reports the resolved replica mode (never ReplicaAuto after New).
+func (r *Runner) Replica() Replica { return r.opts.Replica }
+
+// SparseFallback reports why ReplicaAuto fell back to full replicas (nil
+// when sparse was used or never attempted).
+func (r *Runner) SparseFallback() error { return r.sparseFallback }
+
+// Scheduler reports the per-shard event scheduler the run will use.
+func (r *Runner) Scheduler() sim.SchedulerKind { return r.schedKind() }
+
+// schedKind resolves the shard engines' scheduler.
+func (r *Runner) schedKind() sim.SchedulerKind {
+	switch r.opts.Sched {
+	case SchedHeap:
+		return sim.SchedHeap
+	case SchedWheel:
+		return sim.SchedWheel
+	}
+	if r.opts.Replica == ReplicaSparse {
+		return sim.SchedWheel
+	}
+	return sim.SchedHeap
+}
+
 // Run executes the flows to completion and merges the shards' outputs.
 func (r *Runner) Run() (*Result, error) {
 	if r.engines == nil {
+		kind := r.schedKind()
 		r.engines = make([]*sim.Engine, r.plan.Shards)
 		for i := range r.engines {
-			// Always the heap scheduler: both schedulers pop in the same
-			// order (sim.SchedulerKind), but a replica's timing wheel spans
-			// the whole simulated time while holding only a shard's slice of
-			// the events, so per-window peeks would pay shard-count-many
-			// full-span slot scans. The heap peeks in O(1).
-			r.engines[i] = sim.NewEngineWith(r.opts.Seed, sim.SchedHeap)
+			r.engines[i] = sim.NewEngineWith(r.opts.Seed, kind)
 		}
 	} else {
 		for _, eng := range r.engines {
 			eng.Reset(r.opts.Seed)
 		}
+	}
+	var sp *spinState
+	if r.opts.Barrier == BarrierSpin {
+		budget := r.opts.SpinBudget
+		switch {
+		case budget < 0:
+			budget = 0
+		case budget == 0:
+			budget = defaultSpinBudget(r.plan.Shards)
+		}
+		sp = newSpinState(r, budget)
 	}
 	shards := make([]*shard, r.plan.Shards)
 	for i := range shards {
@@ -172,12 +416,13 @@ func (r *Runner) Run() (*Result, error) {
 			eng: r.engines[i],
 			cmd: make(chan shardCmd, 1),
 			res: make(chan shardRes, 1),
+			sp:  sp,
 		}
 		go r.runShard(shards[i])
 	}
 
 	// Setup barrier: every shard compiles its replica and reports the
-	// replicated-construction fingerprint, which must agree everywhere.
+	// construction fingerprint.
 	setups := make([]shardRes, len(shards))
 	var firstErr error
 	for i, s := range shards {
@@ -188,142 +433,115 @@ func (r *Runner) Run() (*Result, error) {
 	}
 	alive := func(i int) bool { return setups[i].err == nil }
 	if firstErr != nil {
+		if sp != nil {
+			// Failed shards never reach the spin loop; release the healthy
+			// ones straight to their command loops for shutdown.
+			sp.cur = action{kind: actError, err: firstErr}
+			close(sp.start)
+		}
 		r.shutdown(shards, alive)
 		return nil, firstErr
 	}
-	t0, compiled, hwCompile := setups[0].t0, setups[0].executed, setups[0].hwCompile
+	// Cross-check the fingerprint. Full replicas must agree on everything;
+	// sparse replicas execute different slices of the construction, but the
+	// subset compile already asserted per-flow clock equality, so t0 against
+	// the reference is the residual invariant.
+	t0 := setups[0].t0
 	startLive := 0
 	for i := range setups {
-		if setups[i].t0 != t0 || setups[i].executed != compiled || setups[i].hwCompile != hwCompile {
+		bad := setups[i].t0 != t0
+		if r.opts.Replica == ReplicaSparse {
+			bad = setups[i].t0 != r.ref.t0
+		} else {
+			bad = bad || setups[i].executed != setups[0].executed || setups[i].hwCompile != setups[0].hwCompile
+		}
+		if bad {
+			if sp != nil {
+				sp.cur = action{kind: actError, err: nil}
+				close(sp.start)
+			}
 			r.shutdown(shards, alive)
 			return nil, fmt.Errorf("pdes: topo %s: shard %d replica diverged during compile (t0 %v vs %v, events %d vs %d): construction is not deterministic",
-				r.spec.Name, i, setups[i].t0, t0, setups[i].executed, compiled)
+				r.spec.Name, i, setups[i].t0, t0, setups[i].executed, setups[0].executed)
 		}
 		startLive += setups[i].startLive
 	}
 
-	// Window loop.
-	L := r.plan.Lookahead
-	deadline := t0 + r.opts.Timeout
-	remaining := len(r.spec.Flows)
+	// First action from the exact setup reports, then hand the loop to the
+	// chosen barrier driver.
+	c := newCoord(r, t0, len(r.spec.Flows))
 	nextAt := make([]units.Time, len(shards))
 	hasNext := make([]bool, len(shards))
+	beyond := make([]bool, len(shards))
 	for i := range setups {
 		nextAt[i], hasNext[i] = setups[i].nextAt, setups[i].hasNext
 	}
-	var pending []crossMsg // cross-shard messages not yet deliverable
-	var windows uint64
-	var lastEnd units.Time
-	incomplete := func(stalled bool, at units.Time) error {
-		finals, err := r.finish(shards, alive)
-		if err != nil {
-			return err
-		}
-		return r.incompleteErr(finals, stalled, at)
+	act := c.step(nextAt, hasNext, beyond)
+	if sp != nil {
+		return r.runSpin(shards, sp, c, act, setups, alive, startLive)
 	}
-	for remaining > 0 {
-		// Earliest future work anywhere: shard events or in-flight messages.
-		work, any := unitsMax, false
-		for i := range shards {
-			if hasNext[i] && (!any || nextAt[i] < work) {
-				work, any = nextAt[i], true
-			}
-		}
-		for i := range pending {
-			if !any || pending[i].arrival < work {
-				work, any = pending[i].arrival, true
-			}
-		}
-		if !any {
-			return nil, incomplete(true, lastEnd)
-		}
-		if work >= deadline {
-			return nil, incomplete(false, lastEnd)
-		}
-		// Fast-forward to the window containing it (grid anchored at t0).
-		wStart := t0 + (work-t0)/L*L
-		wEnd := wStart + L
-		lastEnd = wEnd
+	return r.runChan(shards, c, act, setups, alive, startLive, nextAt, hasNext, beyond)
+}
 
-		// Deliverable messages go to the shard owning the receiving node,
-		// sorted by the canonical injection key.
-		inboxes := make([][]crossMsg, len(shards))
-		kept := pending[:0]
-		for _, m := range pending {
-			if m.arrival < wEnd {
-				dst := r.msgDst(m)
-				inboxes[dst] = append(inboxes[dst], m)
-			} else {
-				kept = append(kept, m)
+// runChan drives the window loop over per-shard command/response channels.
+func (r *Runner) runChan(shards []*shard, c *coord, act action, setups []shardRes, alive func(int) bool, startLive int, nextAt []units.Time, hasNext, beyond []bool) (*Result, error) {
+	for {
+		switch act.kind {
+		case actWindow:
+			for i, s := range shards {
+				s.cmd <- shardCmd{kind: cmdWindow, windowEnd: act.wEnd, horizon: act.horizon, inbox: c.inboxes[i]}
 			}
-		}
-		pending = kept
-		for _, in := range inboxes {
-			sortInbox(in)
-		}
-		for i, s := range shards {
-			s.cmd <- shardCmd{kind: cmdWindow, windowEnd: wEnd, inbox: inboxes[i]}
-		}
-		windows++
-		for i, s := range shards {
-			res := <-s.res
-			if res.err != nil {
-				setups[i].err = res.err // mark dead for shutdown
-				r.shutdown(shards, alive)
-				return nil, res.err
+			for i, s := range shards {
+				res := <-s.res
+				if res.err != nil {
+					setups[i].err = res.err // mark dead for shutdown
+					r.shutdown(shards, alive)
+					return nil, res.err
+				}
+				c.absorb(i, res.out, res.completions)
+				nextAt[i], hasNext[i], beyond[i] = res.nextAt, res.hasNext, res.beyond
 			}
-			pending = append(pending, res.outbox...)
-			nextAt[i], hasNext[i] = res.nextAt, res.hasNext
-			remaining -= res.completions
+			act = c.step(nextAt, hasNext, beyond)
+		case actProbe:
+			for _, s := range shards {
+				s.cmd <- shardCmd{kind: cmdProbe}
+			}
+			for i, s := range shards {
+				res := <-s.res
+				if res.err != nil {
+					setups[i].err = res.err
+					r.shutdown(shards, alive)
+					return nil, res.err
+				}
+				nextAt[i], hasNext[i] = res.nextAt, res.hasNext
+			}
+			act = c.probeResolve(nextAt, hasNext)
+		default:
+			return r.epilogue(shards, alive, setups, c, startLive, act)
 		}
 	}
+}
 
+// epilogue turns a terminal action into the merged result or the typed
+// incompleteness error. Both barrier drivers land here.
+func (r *Runner) epilogue(shards []*shard, alive func(int) bool, setups []shardRes, c *coord, startLive int, act action) (*Result, error) {
 	finals, err := r.finish(shards, alive)
 	if err != nil {
 		return nil, err
 	}
-	return r.merge(finals, t0, compiled, hwCompile, startLive, windows)
+	switch act.kind {
+	case actDone:
+		return r.merge(finals, setups, c, startLive)
+	case actStalled:
+		return nil, r.incompleteErr(finals, true, c.lastEnd)
+	case actTimeout:
+		return nil, r.incompleteErr(finals, false, c.lastEnd)
+	}
+	return nil, fmt.Errorf("pdes: topo %s: coordinator reached unexpected terminal state %d", r.spec.Name, act.kind)
 }
 
 // unitsMax is a sentinel beyond any simulated time.
 const unitsMax = units.Time(1<<63 - 1)
-
-// msgDst returns the shard owning the message's receiving node.
-func (r *Runner) msgDst(m crossMsg) int {
-	l := &r.spec.Links[m.link]
-	if m.dir == dirAtoB {
-		return r.plan.Owner[l.B]
-	}
-	return r.plan.Owner[l.A]
-}
-
-// sortInbox orders one barrier delivery batch canonically: arrival and
-// sender-side creation time place each message on the (at, ct) grid every
-// engine shares; source shard and per-shard sequence reproduce creation
-// order among same-instant sends (shards own contiguous runs of the
-// declaration order, so this matches the single engine's creation order);
-// link and direction make the order total.
-func sortInbox(in []crossMsg) {
-	sort.Slice(in, func(i, j int) bool {
-		a, b := in[i], in[j]
-		if a.arrival != b.arrival {
-			return a.arrival < b.arrival
-		}
-		if a.ct != b.ct {
-			return a.ct < b.ct
-		}
-		if a.srcShard != b.srcShard {
-			return a.srcShard < b.srcShard
-		}
-		if a.srcSeq != b.srcSeq {
-			return a.srcSeq < b.srcSeq
-		}
-		if a.link != b.link {
-			return a.link < b.link
-		}
-		return a.dir < b.dir
-	})
-}
 
 // finish collects every live shard's final report.
 func (r *Runner) finish(shards []*shard, alive func(int) bool) ([]shardRes, error) {
@@ -347,7 +565,9 @@ func (r *Runner) finish(shards []*shard, alive func(int) bool) ([]shardRes, erro
 	return finals, firstErr
 }
 
-// shutdown releases still-live shard goroutines after a failure.
+// shutdown releases still-live shard goroutines after a failure. A shard
+// that already died (panicked) has queued its error report, which the drain
+// consumes in place of a finish response.
 func (r *Runner) shutdown(shards []*shard, alive func(int) bool) {
 	for i, s := range shards {
 		if !alive(i) {

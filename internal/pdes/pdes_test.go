@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"tengig/internal/netem"
@@ -26,29 +27,60 @@ func loadSpec(t *testing.T, name string) *topo.Spec {
 	return s
 }
 
-func runShards(t *testing.T, spec *topo.Spec, shards int) *Result {
+func runMode(t *testing.T, spec *topo.Spec, shards int, bar Barrier, rep Replica) *Result {
 	t.Helper()
 	r, err := New(spec, Options{
 		Shards:    shards,
 		Seed:      42,
+		Barrier:   bar,
+		Replica:   rep,
 		Telemetry: &telemetry.Options{Enabled: true},
 		Metrics:   true,
 	})
 	if err != nil {
-		t.Fatalf("%s: New(shards=%d): %v", spec.Name, shards, err)
+		t.Fatalf("%s: New(shards=%d,%v,%v): %v", spec.Name, shards, bar, rep, err)
+	}
+	if rep == ReplicaSparse {
+		if got := r.Replica(); got != ReplicaSparse {
+			t.Fatalf("%s: asked for sparse replicas, runner picked %v (fallback: %v)",
+				spec.Name, got, r.SparseFallback())
+		}
 	}
 	res, err := r.Run()
 	if err != nil {
-		t.Fatalf("%s: Run(shards=%d): %v", spec.Name, shards, err)
+		t.Fatalf("%s: Run(shards=%d,%v,%v): %v", spec.Name, shards, bar, rep, err)
 	}
 	return res
 }
 
+func runShards(t *testing.T, spec *topo.Spec, shards int) *Result {
+	t.Helper()
+	return runMode(t, spec, shards, BarrierSpin, ReplicaAuto)
+}
+
+// eqModes is the synchronization/replication matrix the equivalence suite
+// sweeps: both barrier implementations crossed with both replica modes.
+// Requesting sparse explicitly (rather than auto) makes a silent fallback to
+// full replicas a test failure, pinning every example topology as
+// sparse-eligible.
+var eqModes = []struct {
+	name    string
+	barrier Barrier
+	replica Replica
+}{
+	{"chan-full", BarrierChan, ReplicaFull},
+	{"chan-sparse", BarrierChan, ReplicaSparse},
+	{"spin-full", BarrierSpin, ReplicaFull},
+	{"spin-sparse", BarrierSpin, ReplicaSparse},
+}
+
 // TestShardedEquivalence is the crown jewel: for every shipped example
-// topology, the sharded run's telemetry bundle (connection instruments,
-// engine counters, fabric counters, fleet metrics — the full JSONL and CSV
-// exports), flow results, and fabric counters must be byte-identical to the
-// 1-shard run at every shard count.
+// topology, every {barrier, replica} mode, and every shard count, the
+// sharded run's telemetry bundle (connection instruments, engine counters,
+// fabric counters, fleet metrics — the full JSONL and CSV exports), flow
+// results, and fabric counters must be byte-identical to the 1-shard run;
+// the window count must also agree across every mode at the same shard
+// count, since all drivers share one coordinator decision sequence.
 func TestShardedEquivalence(t *testing.T) {
 	files, err := filepath.Glob(filepath.Join(examplesDir, "*.json"))
 	if err != nil || len(files) == 0 {
@@ -67,36 +99,94 @@ func TestShardedEquivalence(t *testing.T) {
 				maxShards = n
 			}
 			for shards := 2; shards <= maxShards; shards *= 2 {
-				t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
-					res := runShards(t, spec, shards)
-					if len(res.Plan.CutLinks) == 0 {
-						t.Fatalf("partition into %d shards cut no links", shards)
+				windows := make(map[string]uint64, len(eqModes))
+				for _, m := range eqModes {
+					m := m
+					t.Run(fmt.Sprintf("shards=%d/%s", shards, m.name), func(t *testing.T) {
+						res := runMode(t, spec, shards, m.barrier, m.replica)
+						windows[m.name] = res.Windows
+						if len(res.Plan.CutLinks) == 0 {
+							t.Fatalf("partition into %d shards cut no links", shards)
+						}
+						if !reflect.DeepEqual(res.Flows, base.Flows) {
+							t.Errorf("flow results diverged:\n 1 shard: %+v\n%d shards: %+v",
+								base.Flows, shards, res.Flows)
+						}
+						if !reflect.DeepEqual(res.Fabric, base.Fabric) {
+							t.Errorf("fabric counters diverged")
+						}
+						if res.Events != base.Events {
+							t.Errorf("events: %d shards executed %d, 1 shard %d",
+								shards, res.Events, base.Events)
+						}
+						if res.HighWater != base.HighWater {
+							t.Errorf("high-water: %d shards %d, 1 shard %d",
+								shards, res.HighWater, base.HighWater)
+						}
+						gotSum := sha256.Sum256(res.Bundle.ExportJSONL())
+						if gotSum != baseSum {
+							t.Errorf("telemetry JSONL diverged (sha256 %x vs %x)", gotSum, baseSum)
+						}
+						if got := res.Bundle.ExportCSV(); string(got) != string(baseCSV) {
+							t.Errorf("telemetry CSV diverged")
+						}
+					})
+				}
+				for name, w := range windows {
+					if ref := windows[eqModes[0].name]; w != ref {
+						t.Errorf("shards=%d: mode %s ran %d windows, %s ran %d",
+							shards, name, w, eqModes[0].name, ref)
 					}
-					if !reflect.DeepEqual(res.Flows, base.Flows) {
-						t.Errorf("flow results diverged:\n 1 shard: %+v\n%d shards: %+v",
-							base.Flows, shards, res.Flows)
-					}
-					if !reflect.DeepEqual(res.Fabric, base.Fabric) {
-						t.Errorf("fabric counters diverged")
-					}
-					if res.Events != base.Events {
-						t.Errorf("events: %d shards executed %d, 1 shard %d",
-							shards, res.Events, base.Events)
-					}
-					if res.HighWater != base.HighWater {
-						t.Errorf("high-water: %d shards %d, 1 shard %d",
-							shards, res.HighWater, base.HighWater)
-					}
-					gotSum := sha256.Sum256(res.Bundle.ExportJSONL())
-					if gotSum != baseSum {
-						t.Errorf("telemetry JSONL diverged (sha256 %x vs %x)", gotSum, baseSum)
-					}
-					if got := res.Bundle.ExportCSV(); string(got) != string(baseCSV) {
-						t.Errorf("telemetry CSV diverged")
-					}
-				})
+				}
 			}
 		})
+	}
+}
+
+// TestSparseCompileFootprint: the point of sparse replicas is that a shard
+// only pays for the slice it owns plus its one-hop boundary — per-shard
+// compile allocation is the footprint that scales with the fleet, while the
+// single reference compile is transient (dropped for GC after New). For
+// every shard of a 4-way torus-grid partition, compiling the shard's subset
+// must allocate strictly less than compiling the full replica, even though
+// torus traffic makes the node subsets nearly full: the skipped irrelevant
+// flows (connection state, socket buffers) are the durable saving.
+func TestSparseCompileFootprint(t *testing.T) {
+	spec := loadSpec(t, "torus-grid.json")
+	r, err := New(spec, Options{Shards: 4, Seed: 42, Replica: ReplicaSparse})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got := r.Replica(); got != ReplicaSparse {
+		t.Fatalf("runner picked %v replicas (fallback: %v)", got, r.SparseFallback())
+	}
+	compileAlloc := func(compile func(*sim.Engine) error) uint64 {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		eng := sim.NewEngineWith(42, sim.SchedWheel)
+		if err := compile(eng); err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		runtime.ReadMemStats(&after)
+		runtime.KeepAlive(eng)
+		return after.TotalAlloc - before.TotalAlloc
+	}
+	for sh := 0; sh < r.plan.Shards; sh++ {
+		full := compileAlloc(func(eng *sim.Engine) error {
+			_, err := topo.Compile(eng, spec, 42)
+			return err
+		})
+		sparse := compileAlloc(func(eng *sim.Engine) error {
+			_, err := topo.CompileSubset(eng, spec, 42, r.subs[sh])
+			return err
+		})
+		if sparse >= full {
+			t.Errorf("shard %d: sparse compile allocated %d bytes, full %d: sparse must cost less",
+				sh, sparse, full)
+		}
+		t.Logf("shard %d: full %d bytes, sparse %d bytes (%.1f%% of full)",
+			sh, full, sparse, 100*float64(sparse)/float64(full))
 	}
 }
 
@@ -141,25 +231,30 @@ func TestFaultScriptsRejected(t *testing.T) {
 }
 
 // TestTimeoutReturnsTypedError: a run that cannot finish in time reports the
-// typed incomplete-flows error naming each unfinished flow.
+// typed incomplete-flows error naming each unfinished flow — under both
+// barrier drivers, since each has its own terminal-action unwind path.
 func TestTimeoutReturnsTypedError(t *testing.T) {
-	spec := loadSpec(t, "paper-baseline.json")
-	r, err := New(spec, Options{Shards: 2, Seed: 42, Timeout: units.Millisecond})
-	if err != nil {
-		t.Fatal(err)
-	}
-	_, err = r.Run()
-	var inc *topo.IncompleteFlowsError
-	if !errors.As(err, &inc) {
-		t.Fatalf("want IncompleteFlowsError, got %v", err)
-	}
-	if len(inc.Incomplete) == 0 {
-		t.Fatal("typed error names no flows")
-	}
-	for _, f := range inc.Incomplete {
-		if f.Flow == "" || f.Total == 0 {
-			t.Errorf("underspecified incomplete flow: %+v", f)
-		}
+	for _, bar := range []Barrier{BarrierSpin, BarrierChan} {
+		t.Run(bar.String(), func(t *testing.T) {
+			spec := loadSpec(t, "paper-baseline.json")
+			r, err := New(spec, Options{Shards: 2, Seed: 42, Barrier: bar, Timeout: units.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = r.Run()
+			var inc *topo.IncompleteFlowsError
+			if !errors.As(err, &inc) {
+				t.Fatalf("want IncompleteFlowsError, got %v", err)
+			}
+			if len(inc.Incomplete) == 0 {
+				t.Fatal("typed error names no flows")
+			}
+			for _, f := range inc.Incomplete {
+				if f.Flow == "" || f.Total == 0 {
+					t.Errorf("underspecified incomplete flow: %+v", f)
+				}
+			}
+		})
 	}
 }
 

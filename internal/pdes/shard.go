@@ -1,8 +1,12 @@
 package pdes
 
 import (
+	"context"
 	"fmt"
 	"runtime/debug"
+	"runtime/pprof"
+	"strconv"
+	"time"
 
 	"tengig/internal/netem"
 	"tengig/internal/packet"
@@ -37,13 +41,16 @@ type cmdKind uint8
 
 const (
 	cmdWindow cmdKind = iota
+	cmdProbe // report the exact next-event time (no horizon bound)
 	cmdFinish
 )
 
-// shardCmd is one coordinator instruction.
+// shardCmd is one coordinator instruction (channel driver only; the spin
+// driver publishes actions through spinState instead).
 type shardCmd struct {
 	kind      cmdKind
 	windowEnd units.Time // exclusive window bound (run events at < windowEnd)
+	horizon   units.Time // bound for the post-window next-event peek
 	inbox     []crossMsg // cross-shard deliveries due in this window, sorted
 }
 
@@ -57,10 +64,14 @@ type shardRes struct {
 	hwCompile int
 	startLive int
 
-	// Windows: boundary traffic and progress.
-	outbox      []crossMsg
+	// Windows: boundary traffic and progress. out aliases the shard's
+	// per-destination slots; the coordinator copies them out before the next
+	// window command. beyond distinguishes "no events at all" from "none
+	// inside the horizon".
+	out         [][]crossMsg
 	nextAt      units.Time
 	hasNext     bool
+	beyond      bool
 	completions int
 
 	// Finish (executed also reports the compile count at setup).
@@ -73,6 +84,7 @@ type shardRes struct {
 	retransmits []int64      // per flow, meaningful where src is local
 	srcConn     []string     // per flow: the source connection's name
 	dstConn     []string
+	syncWall    time.Duration // total time blocked on window synchronization
 }
 
 // shard is the coordinator's handle to one engine goroutine.
@@ -81,16 +93,21 @@ type shard struct {
 	eng *sim.Engine
 	cmd chan shardCmd
 	res chan shardRes
+	sp  *spinState // nil under the channel barrier
 }
 
-// shardState is the goroutine-local world: the full replica plus the
-// activation state for locally-owned endpoints.
+// shardState is the goroutine-local world: the (full or sparse) replica plus
+// the activation state for locally-owned endpoints.
 type shardState struct {
 	net    *topo.Network
 	ledger *sim.LiveLedger
 	bundle *telemetry.Bundle
 
-	outbox []crossMsg
+	// out holds outbound cross-shard messages in per-destination-shard
+	// slots, filled by the boundary handoffs (each knows its receiver's
+	// owner) and drained by the coordinator every window. The slots keep
+	// their backing arrays across windows.
+	out    [][]crossMsg
 	outSeq uint64
 	inFns  map[[2]int]func(any) // (link, dir) -> bound Port.Deliver on this replica
 
@@ -99,12 +116,32 @@ type shardState struct {
 	totals      []int64
 	newlyDone   int
 	retransmits []int64
+	syncWall    time.Duration
+}
+
+// runWindow resets the per-window slots, injects the inbox, and runs this
+// shard's slice of the window. Shared verbatim by both barrier drivers.
+func (st *shardState) runWindow(eng *sim.Engine, wEnd units.Time, inbox []crossMsg) {
+	for dst := range st.out {
+		st.out[dst] = st.out[dst][:0]
+	}
+	st.newlyDone = 0
+	for i := range inbox {
+		m := &inbox[i]
+		fn := st.inFns[[2]int{m.link, int(m.dir)}]
+		if fn == nil {
+			panic(fmt.Sprintf("pdes: received message for foreign link %d dir %d", m.link, m.dir))
+		}
+		eng.InjectCall(m.arrival, m.ct, fn, m.pk)
+	}
+	eng.RunUntil(wEnd - 1)
 }
 
 // runShard is the per-shard goroutine: compile the replica, activate local
 // endpoints, then serve barrier windows until told to finish. Panics are
 // contained into a runner.PanicError so one bad shard fails the run, not
-// the process.
+// the process. The goroutine carries a pprof label so CPU and allocation
+// profiles attribute parallel-run work to its shard.
 func (r *Runner) runShard(s *shard) {
 	defer func() {
 		if v := recover(); v != nil {
@@ -116,54 +153,66 @@ func (r *Runner) runShard(s *shard) {
 			}}
 		}
 	}()
+	pprof.Do(context.Background(), pprof.Labels("pdes_shard", strconv.Itoa(s.idx)), func(context.Context) {
+		r.shardBody(s)
+	})
+}
 
+func (r *Runner) shardBody(s *shard) {
 	st, res := r.setupShard(s)
 	s.res <- res
 	if res.err != nil {
 		return
 	}
+	if s.sp != nil {
+		// Spin barrier: windows are driven shard-to-shard; come back here
+		// for the finish protocol once a terminal action is published.
+		if err := r.spinLoop(s, st, s.sp); err != nil {
+			s.res <- shardRes{shard: s.idx, err: err}
+			return
+		}
+	}
 	eng := s.eng
 	for {
+		t := time.Now()
 		c := <-s.cmd
+		st.syncWall += time.Since(t)
 		switch c.kind {
 		case cmdWindow:
-			for i := range c.inbox {
-				m := &c.inbox[i]
-				fn := st.inFns[[2]int{m.link, int(m.dir)}]
-				if fn == nil {
-					panic(fmt.Sprintf("pdes: shard %d received message for foreign link %d dir %d", s.idx, m.link, m.dir))
-				}
-				eng.InjectCall(m.arrival, m.ct, fn, m.pk)
-			}
-			st.newlyDone = 0
-			eng.RunUntil(c.windowEnd - 1)
-			out := st.outbox
-			st.outbox = nil
-			next, has := eng.NextEventAt()
+			st.runWindow(eng, c.windowEnd, c.inbox)
+			next, has := eng.NextEventAtWithin(c.horizon)
 			s.res <- shardRes{
-				shard: s.idx, outbox: out,
-				nextAt: next, hasNext: has, completions: st.newlyDone,
+				shard: s.idx, out: st.out,
+				nextAt: next, hasNext: has,
+				beyond:      !has && eng.Pending() > 0,
+				completions: st.newlyDone,
 			}
+		case cmdProbe:
+			next, has := eng.NextEventAt()
+			s.res <- shardRes{shard: s.idx, nextAt: next, hasNext: has}
 		case cmdFinish:
 			var atoms []sim.LiveAtom
 			if st.ledger != nil {
 				atoms = st.ledger.Atoms()
 			}
 			for i, p := range st.net.Pairs {
-				if r.plan.Owner[r.spec.Flows[i].Src] == s.idx {
+				if p != nil && r.plan.Owner[r.spec.Flows[i].Src] == s.idx {
 					st.retransmits[i] = p.Src.Conn.Stats.Retransmits
 				}
 			}
 			srcConn := make([]string, len(st.net.Pairs))
 			dstConn := make([]string, len(st.net.Pairs))
 			for i, p := range st.net.Pairs {
-				srcConn[i], dstConn[i] = p.Src.Conn.Name(), p.Dst.Conn.Name()
+				if p != nil {
+					srcConn[i], dstConn[i] = p.Src.Conn.Name(), p.Dst.Conn.Name()
+				}
 			}
 			s.res <- shardRes{
 				shard: s.idx, executed: eng.Executed,
 				atoms: atoms, bundle: st.bundle, fabric: st.net.FabricCounters(),
 				received: st.received, doneAt: st.doneAt,
 				retransmits: st.retransmits, srcConn: srcConn, dstConn: dstConn,
+				syncWall: st.syncWall,
 			}
 			return
 		}
@@ -178,7 +227,13 @@ func (r *Runner) setupShard(s *shard) (*shardState, shardRes) {
 		return nil, shardRes{shard: s.idx, err: err}
 	}
 	eng, spec, owner := s.eng, r.spec, r.plan.Owner
-	net, err := topo.Compile(eng, spec, r.opts.Seed)
+	var net *topo.Network
+	var err error
+	if r.opts.Replica == ReplicaSparse {
+		net, err = topo.CompileSubset(eng, spec, r.opts.Seed, r.subs[s.idx])
+	} else {
+		net, err = topo.Compile(eng, spec, r.opts.Seed)
+	}
 	if err != nil {
 		return fail(fmt.Errorf("pdes: shard %d: %w", s.idx, err))
 	}
@@ -193,18 +248,27 @@ func (r *Runner) setupShard(s *shard) (*shardState, shardRes) {
 
 	st := &shardState{
 		net:         net,
+		out:         make([][]crossMsg, r.plan.Shards),
 		inFns:       make(map[[2]int]func(any)),
 		received:    make([]int64, len(net.Pairs)),
 		doneAt:      make([]units.Time, len(net.Pairs)),
 		totals:      make([]int64, len(net.Pairs)),
 		retransmits: make([]int64, len(net.Pairs)),
 	}
+	if s.sp != nil {
+		s.sp.states[s.idx] = st
+	}
 
 	// Boundary ports: for each cut-link direction, the sending shard hands
-	// packets off, the receiving shard registers the injection target.
+	// packets off, the receiving shard registers the injection target. A
+	// sparse replica wires only the cut links present in its subset — every
+	// cut link with a locally-owned endpoint is, by the one-hop stub rule.
 	links := net.Links()
 	for _, li := range r.plan.CutLinks {
 		le := links[li]
+		if le.AtoB == nil {
+			continue // outside this shard's subset
+		}
 		ports := [2]*phys.Port{le.AtoB, le.BtoA}
 		receivers := [2]string{le.B, le.A}
 		for d := range ports {
@@ -214,6 +278,7 @@ func (r *Runner) setupShard(s *shard) (*shardState, shardRes) {
 				continue
 			}
 			li, d, prop, shardIdx := li, uint8(d), le.Prop, s.idx
+			dstShard := owner[receivers[d]]
 			port.SetHandoff(func(pk *packet.Packet) {
 				cp := netem.ClonePacket(pk)
 				pk.Release()
@@ -224,7 +289,7 @@ func (r *Runner) setupShard(s *shard) (*shardState, shardRes) {
 					st.ledger.NoteCreate()
 				}
 				now := eng.Now()
-				st.outbox = append(st.outbox, crossMsg{
+				st.out[dstShard] = append(st.out[dstShard], crossMsg{
 					link: li, dir: d, arrival: now + prop, ct: now,
 					srcShard: shardIdx, srcSeq: st.outSeq, pk: cp,
 				})
@@ -240,6 +305,9 @@ func (r *Runner) setupShard(s *shard) (*shardState, shardRes) {
 		opt := *r.opts.Telemetry
 		st.bundle = telemetry.NewBundle(spec.Name, r.opts.Seed, opt)
 		for i, p := range net.Pairs {
+			if p == nil {
+				continue
+			}
 			f := spec.Flows[i]
 			if owner[f.Src] == s.idx {
 				rec := st.bundle.Conn(p.Src.Conn.Name())
@@ -262,7 +330,7 @@ func (r *Runner) setupShard(s *shard) (*shardState, shardRes) {
 	for i, p := range net.Pairs {
 		f := r.resolvedFlow(i)
 		st.totals[i] = int64(f.Count) * int64(f.Payload)
-		if owner[f.Dst] != s.idx {
+		if p == nil || owner[f.Dst] != s.idx {
 			continue
 		}
 		i := i
@@ -276,7 +344,7 @@ func (r *Runner) setupShard(s *shard) (*shardState, shardRes) {
 	}
 	for i, p := range net.Pairs {
 		f := r.resolvedFlow(i)
-		if owner[f.Src] == s.idx {
+		if p != nil && owner[f.Src] == s.idx {
 			p.Src.Send(st.totals[i], f.Payload, true, nil)
 		}
 	}

@@ -61,6 +61,38 @@ type LinkEnds struct {
 // file transcribing core.ThroughSwitchOn produces a byte-identical
 // simulation.
 func Compile(eng *sim.Engine, s *Spec, seed int64) (*Network, error) {
+	return compileNetwork(eng, s, seed, nil, nil)
+}
+
+// CompileObserver receives per-flow compile progress. The sparse-replica
+// reference pass uses it to record the engine clock after each handshake.
+type CompileObserver struct {
+	// AfterConnect runs right after flow i's three-way handshake completes
+	// (and after any subset divergence checks), with the engine quiescent on
+	// eligible topologies.
+	AfterConnect func(flow int)
+}
+
+// CompileObserved is Compile with a progress observer.
+func CompileObserved(eng *sim.Engine, s *Spec, seed int64, obs *CompileObserver) (*Network, error) {
+	return compileNetwork(eng, s, seed, nil, obs)
+}
+
+// CompileSubset builds only the slice of the spec named by sub — the nodes in
+// sub.Nodes, the links whose endpoints are both present, and the flows marked
+// relevant — while keeping every compile-visible identity (host addresses,
+// flow IDs, switch port numbering on fully-present switches, handshake
+// timestamps) identical to a full compile. Skipped flows advance the clock by
+// their reference handshake duration (sub.ConnectAt) instead of simulating
+// it, and leave a nil entry in Pairs; Links carries zero-valued placeholders
+// for absent links so global link indices keep working. Any timing deviation
+// from the reference compile is detected and returned as an error rather than
+// silently diverging.
+func CompileSubset(eng *sim.Engine, s *Spec, seed int64, sub *Subset) (*Network, error) {
+	return compileNetwork(eng, s, seed, sub, nil)
+}
+
+func compileNetwork(eng *sim.Engine, s *Spec, seed int64, sub *Subset, obs *CompileObserver) (*Network, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -73,8 +105,13 @@ func Compile(eng *sim.Engine, s *Spec, seed int64) (*Network, error) {
 	}
 
 	// Hosts, in declaration order, through the same construction path the
-	// hand-wired testbeds use.
+	// hand-wired testbeds use. Subset compiles skip absent hosts but keep the
+	// positional address assignment, so present hosts get the same addresses
+	// a full compile gives them.
 	for i, hs := range s.Hosts {
+		if sub != nil && !sub.Nodes[hs.Name] {
+			continue
+		}
 		tuning := s.Tuning
 		if hs.Tuning != nil {
 			tuning = hs.Tuning
@@ -105,6 +142,9 @@ func Compile(eng *sim.Engine, s *Spec, seed int64) (*Network, error) {
 
 	// Switches.
 	for _, ss := range s.Switches {
+		if sub != nil && !sub.Nodes[ss.Name] {
+			continue
+		}
 		var sw *fabric.Node
 		if ss.Preset == PresetFastIron {
 			sw = fabric.FastIron(eng, ss.Name)
@@ -126,30 +166,68 @@ func Compile(eng *sim.Engine, s *Spec, seed int64) (*Network, error) {
 		portOn[ss.Name] = make(map[int]int)
 	}
 	for li := range s.Links {
+		if l := &s.Links[li]; sub != nil && (!sub.Nodes[l.A] || !sub.Nodes[l.B]) {
+			// Placeholder keeps n.links indexable by global link index; the
+			// nil ports mark the link as outside this subset.
+			n.links = append(n.links, LinkEnds{Name: l.EffectiveName(), A: l.A, B: l.B, Prop: l.prop()})
+			continue
+		}
 		if err := n.wireLink(li, portOn, seed); err != nil {
 			return nil, err
 		}
 	}
 
-	// Routes: shortest-path precompute first, then explicit pins on top.
+	// Routes: shortest-path precompute first, then explicit pins on top. A
+	// subset compile installs only entries whose switch, destination host,
+	// and egress link are all present; traffic the subset replicates never
+	// needs the missing ones.
 	tables := s.routeTables()
 	for _, ss := range s.Switches {
 		sw := n.switches[ss.Name]
+		if sw == nil {
+			continue
+		}
 		for _, hs := range s.Hosts {
 			li, ok := tables[ss.Name][hs.Name]
 			if !ok {
 				continue
 			}
-			if err := sw.Route(n.hosts[hs.Name].Addr(), portOn[ss.Name][li]); err != nil {
+			h := n.hosts[hs.Name]
+			if h == nil {
+				continue
+			}
+			p, ok := portOn[ss.Name][li]
+			if !ok {
+				continue
+			}
+			if err := sw.Route(h.Addr(), p); err != nil {
 				return nil, fmt.Errorf("topo %s: %w", s.Name, err)
 			}
 		}
 	}
 	for i, r := range s.Routes {
 		sw := n.switches[r.Switch]
+		if sub != nil && (sw == nil || n.hosts[r.Dst] == nil) {
+			continue
+		}
 		port := 0
 		if r.Port != nil {
 			port = *r.Port
+			if sub != nil {
+				// Raw port pins refer to full-compile numbering; a switch
+				// missing some links locally numbers its ports differently.
+				// Re-resolve through the spec link occupying that port.
+				li, ok := fullPortMap(s)[r.Switch][port]
+				if !ok {
+					return nil, fmt.Errorf("topo %s: route %d: switch %s has no port %d",
+						s.Name, i, r.Switch, port)
+				}
+				p, ok := portOn[r.Switch][li]
+				if !ok {
+					continue // pinned egress link outside this subset
+				}
+				port = p
+			}
 		} else {
 			li, err := s.linkBetween(r.Switch, r.Via)
 			if err != nil {
@@ -157,6 +235,9 @@ func Compile(eng *sim.Engine, s *Spec, seed int64) (*Network, error) {
 			}
 			p, ok := portOn[r.Switch][li]
 			if !ok {
+				if sub != nil {
+					continue
+				}
 				return nil, fmt.Errorf("topo %s: route %d: link %s has no port on %s",
 					s.Name, i, s.Links[li].EffectiveName(), r.Switch)
 			}
@@ -177,18 +258,34 @@ func Compile(eng *sim.Engine, s *Spec, seed int64) (*Network, error) {
 	}
 	distTo := make(map[string]map[string]int)
 	for i, f := range s.Flows {
+		if f.Count == 0 {
+			f.Count = DefaultFlowCount
+		}
+		if f.Payload == 0 {
+			f.Payload = DefaultFlowPayload
+		}
+		if sub != nil && !sub.Relevant[i] {
+			// A foreign flow whose packets never touch this subset: skip its
+			// handshake but advance the clock by the reference duration so
+			// every later timestamp matches the full compile. The engine must
+			// be quiescent here — the reference pass proved each handshake
+			// drains fully — so any pending event means the replica diverged.
+			at := sub.ConnectAt[i]
+			if eng.Pending() != 0 || at < eng.Now() {
+				return nil, fmt.Errorf("topo %s: flow %d: sparse replica diverged before skipped flow (now=%v ref=%v pending=%d)",
+					s.Name, i, eng.Now(), at, eng.Pending())
+			}
+			eng.AdvanceTo(at)
+			n.Pairs = append(n.Pairs, nil)
+			n.flows = append(n.flows, f)
+			continue
+		}
 		if distTo[f.Dst] == nil {
 			distTo[f.Dst] = s.bfs(adj, isSwitch, f.Dst)
 		}
 		if _, ok := distTo[f.Dst][f.Src]; !ok {
 			return nil, fmt.Errorf("topo %s: flow %d: no path from %s to %s",
 				s.Name, i, f.Src, f.Dst)
-		}
-		if f.Count == 0 {
-			f.Count = DefaultFlowCount
-		}
-		if f.Payload == 0 {
-			f.Payload = DefaultFlowPayload
 		}
 		src, dst := n.hosts[f.Src], n.hosts[f.Dst]
 		flowID := uint32(i + 1)
@@ -198,6 +295,22 @@ func Compile(eng *sim.Engine, s *Spec, seed int64) (*Network, error) {
 		if err := pair.Connect(units.Second); err != nil {
 			return nil, fmt.Errorf("topo %s: flow %d (%s -> %s): %w",
 				s.Name, i, f.Src, f.Dst, err)
+		}
+		if sub != nil {
+			// The handshake ran over replicated state; its duration (and the
+			// quiescence the skip above relies on) must match the reference
+			// compile exactly, or the replica's clock is off for good.
+			if p := eng.Pending(); p != 0 {
+				return nil, fmt.Errorf("topo %s: flow %d (%s -> %s): %d events pending after handshake; sparse replicas need per-flow quiescence",
+					s.Name, i, f.Src, f.Dst, p)
+			}
+			if got := eng.Now(); got != sub.ConnectAt[i] {
+				return nil, fmt.Errorf("topo %s: flow %d (%s -> %s): sparse replica handshake finished at %v, reference %v",
+					s.Name, i, f.Src, f.Dst, got, sub.ConnectAt[i])
+			}
+		}
+		if obs != nil && obs.AfterConnect != nil {
+			obs.AfterConnect(i)
 		}
 		n.Pairs = append(n.Pairs, pair)
 		n.flows = append(n.flows, f)
@@ -290,6 +403,8 @@ func (n *Network) addImpair(name string, im *netem.Impair) {
 }
 
 // Links returns the physical ends of every spec link, in declaration order.
+// In a subset compile, links outside the subset hold zero-valued ports; the
+// slice stays indexable by global link index either way.
 func (n *Network) Links() []LinkEnds { return n.links }
 
 // Host returns the named host (nil if absent).
@@ -313,6 +428,10 @@ func (n *Network) FabricCounters() []telemetry.FabricCounters {
 	out := make([]telemetry.FabricCounters, 0, len(n.Spec.Switches))
 	for _, ss := range n.Spec.Switches {
 		sw := n.switches[ss.Name]
+		if sw == nil { // outside a subset compile: zero-valued placeholder
+			out = append(out, telemetry.FabricCounters{Node: ss.Name})
+			continue
+		}
 		fc := telemetry.FabricCounters{
 			Node:      ss.Name,
 			Forwarded: sw.Stats.Forwarded,
@@ -347,6 +466,9 @@ func (n *Network) CaptureFabric(b *telemetry.Bundle) {
 func (n *Network) AttachTelemetry(name string, seed int64, opt telemetry.Options) *telemetry.Bundle {
 	b := telemetry.NewBundle(name, seed, opt)
 	for _, p := range n.Pairs {
+		if p == nil { // flow outside a subset compile
+			continue
+		}
 		for _, sock := range []*host.Socket{p.Src, p.Dst} {
 			rec := b.Conn(sock.Conn.Name())
 			sock.Conn.SetTelemetry(rec)

@@ -3,6 +3,8 @@ package topo_test
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -69,6 +71,89 @@ func TestPartitionBalancedContiguous(t *testing.T) {
 	// cut trunk — that keeps the window grid shard-count-invariant.
 	if plan.Lookahead != 200*units.Nanosecond {
 		t.Errorf("lookahead %v, want 200ns", plan.Lookahead)
+	}
+}
+
+// TestPartitionCutDegrees checks the directional boundary tallies: on the
+// line fixture and on every shipped example topology, CutOut/CutIn must
+// agree with a recount of cut-link endpoints from CutLinks and Owner, the
+// two directions must balance per shard (links are duplex), and the grand
+// total must be two endpoint crossings per cut link.
+func TestPartitionCutDegrees(t *testing.T) {
+	check := func(t *testing.T, s *topo.Spec, shards int) {
+		plan, err := topo.Partition(s, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plan.CutOut) != shards || len(plan.CutIn) != shards {
+			t.Fatalf("cut degree slices sized %d/%d, want %d", len(plan.CutOut), len(plan.CutIn), shards)
+		}
+		wantOut := make([]int, shards)
+		wantIn := make([]int, shards)
+		for _, li := range plan.CutLinks {
+			l := s.Links[li]
+			oa, ob := plan.Owner[l.A], plan.Owner[l.B]
+			if oa == ob {
+				t.Fatalf("link %d (%s-%s) listed as cut but both ends on shard %d", li, l.A, l.B, oa)
+			}
+			// Duplex link: each side both sends to and receives from the other.
+			wantOut[oa]++
+			wantIn[ob]++
+			wantOut[ob]++
+			wantIn[oa]++
+		}
+		total := 0
+		for i := 0; i < shards; i++ {
+			if plan.CutOut[i] != wantOut[i] || plan.CutIn[i] != wantIn[i] {
+				t.Errorf("shard %d: CutOut=%d CutIn=%d, recount says out=%d in=%d",
+					i, plan.CutOut[i], plan.CutIn[i], wantOut[i], wantIn[i])
+			}
+			if plan.CutOut[i] != plan.CutIn[i] {
+				t.Errorf("shard %d: CutOut=%d != CutIn=%d on duplex links",
+					i, plan.CutOut[i], plan.CutIn[i])
+			}
+			total += plan.CutOut[i]
+		}
+		if want := 2 * len(plan.CutLinks); total != want {
+			t.Errorf("sum of CutOut = %d, want 2*|cut links| = %d", total, want)
+		}
+	}
+
+	t.Run("line/shards=2", func(t *testing.T) {
+		s := lineSpec(t)
+		check(t, s, 2)
+		plan, err := topo.Partition(s, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The contiguous 2-cut severs one trunk: one crossing out of and into
+		// each half.
+		for i := 0; i < 2; i++ {
+			if plan.CutOut[i] != 1 || plan.CutIn[i] != 1 {
+				t.Errorf("shard %d: CutOut=%d CutIn=%d, want 1/1", i, plan.CutOut[i], plan.CutIn[i])
+			}
+		}
+	})
+
+	files, err := filepath.Glob(filepath.Join("../../examples/topologies", "*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no example topologies found: %v", err)
+	}
+	for _, file := range files {
+		file := file
+		for _, shards := range []int{2, 4} {
+			shards := shards
+			t.Run(fmt.Sprintf("%s/shards=%d", filepath.Base(file), shards), func(t *testing.T) {
+				s, err := topo.Load(file)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(s.Hosts)+len(s.Switches) < shards {
+					t.Skipf("only %d nodes", len(s.Hosts)+len(s.Switches))
+				}
+				check(t, s, shards)
+			})
+		}
 	}
 }
 

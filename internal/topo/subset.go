@@ -1,0 +1,200 @@
+package topo
+
+import (
+	"fmt"
+
+	"tengig/internal/units"
+)
+
+// Sparse-replica subsetting for parallel DES.
+//
+// A full-replica shard compiles the entire spec and keeps most of it silent;
+// a sparse-replica shard compiles only what it can ever observe: the nodes
+// it owns, the one-hop stubs across its cut links (the far endpoint of each
+// boundary link must exist locally for the link itself to be wired), and —
+// for compile-time exactness — every node traversed by any flow whose
+// handshake packets touch the shard. Everything else is skipped, and the
+// skipped flows' handshakes are replaced by clock advances of their
+// reference duration, so every timestamp the shard produces afterwards is
+// identical to a full compile's.
+
+// Subset names what one sparse-replica shard compiles.
+type Subset struct {
+	// Nodes marks the hosts and switches this shard instantiates.
+	Nodes map[string]bool
+	// Relevant marks, per spec flow, whether this shard compiles and
+	// connects the flow's pair (true when the flow's handshake path touches
+	// an owned node). Irrelevant flows get a nil Pairs entry.
+	Relevant []bool
+	// ConnectAt is the full-compile engine clock after each flow's
+	// handshake, recorded by the reference pass; CompileSubset advances the
+	// clock to ConnectAt[i] when skipping flow i and asserts equality after
+	// connecting relevant ones.
+	ConnectAt []units.Time
+}
+
+// FlowPaths computes, for every flow, the set of nodes the flow's packets
+// can traverse under the compiled FIBs: the forward walk src->dst plus the
+// reverse walk dst->src (equal-cost tie-breaks may differ by direction), each
+// following the shortest-path tables with explicit route pins applied on
+// top — the same effective FIBs Compile installs.
+func FlowPaths(s *Spec) ([][]string, error) {
+	// Effective per-switch next-link tables: shortest-path precompute, then
+	// explicit pins override, mirroring Compile's installation order.
+	eff := s.routeTables()
+	for i, r := range s.Routes {
+		li := 0
+		if r.Port != nil {
+			l, ok := fullPortMap(s)[r.Switch][*r.Port]
+			if !ok {
+				return nil, fmt.Errorf("topo %s: route %d: switch %s has no port %d", s.Name, i, r.Switch, *r.Port)
+			}
+			li = l
+		} else {
+			l, err := s.linkBetween(r.Switch, r.Via)
+			if err != nil {
+				return nil, fmt.Errorf("topo %s: route %d: %w", s.Name, i, err)
+			}
+			li = l
+		}
+		if eff[r.Switch] == nil {
+			eff[r.Switch] = make(map[string]int)
+		}
+		eff[r.Switch][r.Dst] = li
+	}
+
+	// Each host's single attachment point.
+	attached := make(map[string]string, len(s.Hosts))
+	isSwitch := make(map[string]bool, len(s.Switches))
+	for _, sw := range s.Switches {
+		isSwitch[sw.Name] = true
+	}
+	for _, l := range s.Links {
+		switch {
+		case !isSwitch[l.A]:
+			attached[l.A] = l.B
+		case !isSwitch[l.B]:
+			attached[l.B] = l.A
+		}
+	}
+
+	walk := func(from, to string, visit func(string)) error {
+		visit(from)
+		cur := attached[from]
+		for hops := 0; ; hops++ {
+			if hops > len(s.Links)+1 {
+				return fmt.Errorf("topo %s: FIB walk %s->%s loops", s.Name, from, to)
+			}
+			visit(cur)
+			li, ok := eff[cur][to]
+			if !ok {
+				return fmt.Errorf("topo %s: FIB walk %s->%s: %s has no route", s.Name, from, to, cur)
+			}
+			next := s.Links[li].A
+			if next == cur {
+				next = s.Links[li].B
+			}
+			if next == to {
+				visit(to)
+				return nil
+			}
+			if !isSwitch[next] {
+				return fmt.Errorf("topo %s: FIB walk %s->%s: route via foreign host %s", s.Name, from, to, next)
+			}
+			cur = next
+		}
+	}
+
+	paths := make([][]string, len(s.Flows))
+	for i, f := range s.Flows {
+		seen := make(map[string]bool)
+		var nodes []string
+		visit := func(n string) {
+			if !seen[n] {
+				seen[n] = true
+				nodes = append(nodes, n)
+			}
+		}
+		if err := walk(f.Src, f.Dst, visit); err != nil {
+			return nil, fmt.Errorf("flow %d: %w", i, err)
+		}
+		if err := walk(f.Dst, f.Src, visit); err != nil {
+			return nil, fmt.Errorf("flow %d: %w", i, err)
+		}
+		paths[i] = nodes
+	}
+	return paths, nil
+}
+
+// BuildSubset assembles shard's sparse-replica subset from a partition plan
+// and the per-flow FIB walks: owned nodes, one-hop boundary stubs across cut
+// links, and the full walk of every flow that touches an owned node. The
+// caller fills ConnectAt from the reference compile.
+func BuildSubset(s *Spec, plan *PartitionPlan, shard int, paths [][]string) *Subset {
+	sub := &Subset{
+		Nodes:    make(map[string]bool),
+		Relevant: make([]bool, len(s.Flows)),
+	}
+	for name, o := range plan.Owner {
+		if o == shard {
+			sub.Nodes[name] = true
+		}
+	}
+	for _, li := range plan.CutLinks {
+		l := &s.Links[li]
+		if plan.Owner[l.A] == shard {
+			sub.Nodes[l.B] = true
+		}
+		if plan.Owner[l.B] == shard {
+			sub.Nodes[l.A] = true
+		}
+	}
+	for i, path := range paths {
+		touches := false
+		for _, n := range path {
+			if plan.Owner[n] == shard {
+				touches = true
+				break
+			}
+		}
+		if !touches {
+			continue
+		}
+		sub.Relevant[i] = true
+		for _, n := range path {
+			sub.Nodes[n] = true
+		}
+	}
+	return sub
+}
+
+// fullPortMap replays the compiler's sequential port assignment over the
+// full link declaration order: map[switch][port index] = spec link index.
+// Subset compiles use it to re-resolve raw Port route pins, whose indices
+// refer to full-compile numbering.
+func fullPortMap(s *Spec) map[string]map[int]int {
+	isSwitch := make(map[string]bool, len(s.Switches))
+	m := make(map[string]map[int]int, len(s.Switches))
+	for _, sw := range s.Switches {
+		isSwitch[sw.Name] = true
+		m[sw.Name] = make(map[int]int)
+	}
+	next := make(map[string]int, len(s.Switches))
+	add := func(sw string, li int) {
+		m[sw][next[sw]] = li
+		next[sw]++
+	}
+	for li := range s.Links {
+		l := &s.Links[li]
+		switch {
+		case !isSwitch[l.A]:
+			add(l.B, li)
+		case !isSwitch[l.B]:
+			add(l.A, li)
+		default:
+			add(l.A, li)
+			add(l.B, li)
+		}
+	}
+	return m
+}
