@@ -75,6 +75,12 @@ var (
 	baseline = flag.String("baseline", "", "comma-separated BENCH_*.json baselines to compare this run against (sweep files check simulated Gb/s; kernel/sched files re-measure allocs/op in-process)")
 	gateF    = flag.Bool("gate", false, "exit non-zero when a -baseline comparison finds a regression past -gate-threshold")
 	gateThr  = flag.Float64("gate-threshold", 0.02, "relative throughput loss that counts as a sweep regression (0.02 = 2%)")
+	ckptPath = flag.String("checkpoint", "", "journal every completed sweep point into this JSONL file; a killed campaign restarts from the journal with -resume")
+	resumeF  = flag.Bool("resume", false, "resume the -checkpoint journal: restore completed points instead of re-simulating them (refused if the journal was written by a different campaign configuration)")
+	limitEvF = flag.Uint64("limit-events", 0, "abort any sweep point that exceeds this simulated-event budget (0 = unlimited); used to rehearse mid-campaign kills")
+	skipF    = flag.Bool("skip-failures", false, "contain per-point failures instead of aborting the run; failed points are reported at exit with code 3")
+	retriesF = flag.Int("retries", 0, "with -skip-failures, re-run a failing point up to N extra times (capped exponential backoff between attempts) before its failure stands")
+	crashDir = flag.String("crashdir", "", "with -skip-failures, write a replayable crash-bundle JSON here for every contained panic")
 )
 
 // workers returns the experiment-level worker count from the flags:
@@ -123,6 +129,7 @@ func main() {
 		}
 		return
 	}
+	openCampaignCheckpoint()
 	ran := false
 	run := func(cond bool, figureID string, f func()) {
 		if cond || *all {
@@ -157,6 +164,65 @@ func main() {
 	}
 	if *baseline != "" {
 		runGate()
+	}
+	// Satellite of -skip-failures: contained failures must not masquerade as
+	// a clean campaign. Everything above (figures, BENCH, metrics, baselines)
+	// has been written; now surface the swallowed points with a distinct exit
+	// code so CI and scripts can tell "partial campaign" (3) apart from a
+	// regression-gate failure (1) or a usage error (2).
+	if len(skippedFailures) > 0 {
+		fmt.Printf("partial campaign: %d point(s) failed and were skipped:\n", len(skippedFailures))
+		for _, s := range skippedFailures {
+			fmt.Printf("  FAILED %s\n", s)
+		}
+		os.Exit(3)
+	}
+}
+
+// campaignCheckpoint is the open -checkpoint journal, nil without the flag.
+var campaignCheckpoint *core.Checkpoint
+
+// skippedFailures collects the per-point failures that -skip-failures
+// contained, for the end-of-run summary and exit code 3.
+var skippedFailures []string
+
+// checkpointIdentity is the invocation identity a journal is fingerprinted
+// with: everything that changes which points a campaign simulates or what
+// they measure. Workers and scheduler are deliberately absent — results are
+// byte-identical across both, so a campaign may resume with a different
+// worker count or scheduler and still fold exact results.
+type checkpointIdentity struct {
+	Seed       int64
+	Count      int
+	Full       bool
+	Fig, Table int
+	Exp        string
+	All        bool
+}
+
+// openCampaignCheckpoint opens (or, with -resume, restores) the -checkpoint
+// journal before any sweep runs.
+func openCampaignCheckpoint() {
+	if *ckptPath == "" {
+		if *resumeF {
+			log.Fatalf("sweep: -resume requires -checkpoint FILE")
+		}
+		return
+	}
+	fp, err := core.CheckpointFingerprint(checkpointIdentity{
+		Seed: *seed, Count: count(), Full: *full,
+		Fig: *fig, Table: *table, Exp: *exp, All: *all,
+	})
+	if err != nil {
+		log.Fatalf("checkpoint: %v", err)
+	}
+	cp, err := core.OpenCheckpoint(*ckptPath, fp, *resumeF)
+	if err != nil {
+		log.Fatalf("checkpoint: %v", err)
+	}
+	campaignCheckpoint = cp
+	if *resumeF && cp.Len() > 0 {
+		fmt.Printf("checkpoint: restored %d completed point(s) from %s\n", cp.Len(), *ckptPath)
 	}
 }
 
@@ -416,7 +482,12 @@ func sweep(p core.Profile, t core.Tuning) *core.SweepResult {
 	cfg := core.SweepConfig{
 		Seed: *seed, Profile: p, Tuning: t,
 		Payloads: payloads(), Count: count(), Workers: workers(),
-		Metrics: *metricsF,
+		Metrics:      *metricsF,
+		Checkpoint:   campaignCheckpoint,
+		EventBudget:  *limitEvF,
+		SkipFailures: *skipF,
+		Retries:      *retriesF,
+		CrashDir:     *crashDir,
 	}
 	if *telemDir != "" {
 		cfg.Telemetry = telemetry.Options{Enabled: true}
@@ -430,6 +501,15 @@ func sweep(p core.Profile, t core.Tuning) *core.SweepResult {
 		log.Fatalf("sweep: %v", err)
 	}
 	wall := time.Since(start)
+	for _, pt := range res.Points {
+		if pt.Err != nil {
+			msg := fmt.Sprintf("%s payload %d: %v", res.Label, pt.Payload, pt.Err)
+			if pt.CrashBundle != "" {
+				msg += " (bundle " + pt.CrashBundle + ")"
+			}
+			skippedFailures = append(skippedFailures, msg)
+		}
+	}
 	if *telemDir != "" {
 		for _, pt := range res.Points {
 			if pt.Telemetry == nil {

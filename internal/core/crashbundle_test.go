@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -153,6 +154,73 @@ func TestCampaignCrashBundleReplay(t *testing.T) {
 	}
 	if r := (&CrashBundle{Kind: "nonsense"}).Replay(nil); r.Err == nil {
 		t.Fatal("unknown bundle kind replayed without error")
+	}
+}
+
+// TestSweepPointReplayPerScheduler: a sweep-point bundle records the event
+// scheduler the crashed run used, and Replay must rebuild under exactly
+// that scheduler — wheel as well as heap — reproduce the injected panic
+// with the hook re-armed, and run clean without it.
+func TestSweepPointReplayPerScheduler(t *testing.T) {
+	tun := Optimized(9000)
+	for _, sched := range []string{"wheel", "heap"} {
+		sched := sched
+		t.Run(sched, func(t *testing.T) {
+			in := &CrashBundle{
+				Kind: "sweep-point", Seed: 7, Profile: PE2650, Tuning: &tun,
+				Payload: 512, Count: 50, Timeout: 30 * units.Second,
+				Scheduler: sched, Panic: "injected fault at payload 512",
+			}
+			path, err := WriteCrashBundle(t.TempDir(), "sched_"+sched, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := ReadCrashBundle(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.Scheduler != sched {
+				t.Fatalf("scheduler lost in round trip: %q", b.Scheduler)
+			}
+			if r := b.Replay(crashHook(512)); !r.Reproduced || r.Panic != b.Panic {
+				t.Fatalf("replay under %s did not reproduce: %+v", sched, r)
+			}
+			if rc := b.Replay(nil); rc.Panic != "" || rc.Err != nil {
+				t.Fatalf("clean replay under %s not clean: %+v", sched, rc)
+			}
+		})
+	}
+}
+
+// TestCampaignBundleFaultScriptedReplay: a campaign bundle whose spec
+// carries fault scripts must survive the disk round trip and replay the
+// fault-scripted run to the same outcome as driving the spec directly —
+// throughput, netem counters, budget flags, everything.
+func TestCampaignBundleFaultScriptedReplay(t *testing.T) {
+	spec := ChaosConfig{Seed: 21, Campaigns: 1}.Specs()[0]
+	if len(spec.Data) == 0 && len(spec.Ack) == 0 {
+		t.Fatal("generated campaign carries no fault scripts")
+	}
+	direct := RunCampaign(spec)
+	if direct.Err != nil {
+		t.Fatalf("direct campaign run failed: %v", direct.Err)
+	}
+	in := &CrashBundle{Kind: "chaos-campaign", Seed: spec.Seed,
+		Scheduler: "wheel", Campaign: &spec}
+	path, err := WriteCrashBundle(t.TempDir(), "faulted_campaign", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadCrashBundle(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := b.Replay(nil); r.Err != nil || r.Panic != "" {
+		t.Fatalf("fault-scripted replay failed: %+v", r)
+	}
+	replayed := RunCampaign(*b.Campaign)
+	if !reflect.DeepEqual(replayed, direct) {
+		t.Fatalf("round-tripped campaign diverged:\ndirect:   %+v\nreplayed: %+v", direct, replayed)
 	}
 }
 

@@ -54,6 +54,20 @@ type SweepConfig struct {
 	// the fault-injection port for the crash-containment tests (a hook that
 	// panics at a chosen payload) and is re-armed identically on replay.
 	PointHook func(payload int)
+	// Checkpoint, when set, makes the sweep crash-safe resumable: every
+	// completed point is journaled (durably, atomically) as it finishes,
+	// and a point already in the journal is restored instead of re-run.
+	// Restored points carry the exact ThroughputResult of the original run
+	// — the JSON round trip is lossless — so series, metrics, and bench
+	// outputs are byte-identical to an uninterrupted campaign. They carry no
+	// telemetry bundle (bundles are not journaled) and a near-zero Wall.
+	Checkpoint *Checkpoint
+	// EventBudget caps each point's simulated event count (0 = unlimited).
+	// A point that exhausts it stalls — the engine reports a drained queue
+	// and NTTCP fails with its incomplete-transfer error. It bounds runaway
+	// points in unattended campaigns, and doubles as the interruption lever
+	// the checkpoint-resume tests kill a sweep mid-campaign with.
+	EventBudget uint64
 	// Metrics, when true, folds every successful point into a fleet-level
 	// metrics accumulator on the result (FCT distribution, fairness,
 	// per-class goodput). The fold happens after the runs, in payload input
@@ -136,8 +150,18 @@ func (c SweepConfig) Run() (*SweepResult, error) {
 	if c.Timeout == 0 {
 		c.Timeout = 30 * units.Second
 	}
+	label := c.Tuning.Label()
 	runPoint := func(eng *sim.Engine, _ int, payload int) (Point, error) {
+		if c.Checkpoint != nil {
+			if e, ok := c.Checkpoint.Lookup(label, payload); ok {
+				return Point{Payload: payload, ThroughputResult: e.Result}, nil
+			}
+		}
+		start := time.Now()
 		eng.Reset(c.Seed)
+		if c.EventBudget > 0 {
+			eng.LimitEvents(c.EventBudget)
+		}
 		if c.PointHook != nil {
 			c.PointHook(payload)
 		}
@@ -147,7 +171,7 @@ func (c SweepConfig) Run() (*SweepResult, error) {
 		}
 		pt := Point{Payload: payload}
 		if c.Telemetry.Enabled {
-			name := fmt.Sprintf("%s_p%d", SanitizeName(c.Tuning.Label()), payload)
+			name := fmt.Sprintf("%s_p%d", SanitizeName(label), payload)
 			pt.Telemetry = AttachTelemetry(pair, name, c.Seed, c.Telemetry)
 		}
 		r, err := tools.NTTCP(pair, c.Count, payload, c.Timeout)
@@ -157,6 +181,17 @@ func (c SweepConfig) Run() (*SweepResult, error) {
 		pt.ThroughputResult = r
 		if pt.Telemetry != nil {
 			CapturePairEngine(pt.Telemetry, pair)
+		}
+		if c.Checkpoint != nil {
+			// Journal after the point fully completes (telemetry captured):
+			// a kill between the run and the Record just re-runs the point.
+			err := c.Checkpoint.Record(CheckpointEntry{
+				Sweep: label, Payload: payload, Result: r,
+				WallMS: float64(time.Since(start).Nanoseconds()) / 1e6,
+			})
+			if err != nil {
+				return Point{}, fmt.Errorf("payload %d: %w", payload, err)
+			}
 		}
 		return pt, nil
 	}

@@ -45,15 +45,16 @@ func BackToBackImpaired(seed int64, p Profile, t Tuning, imp Impairments) (*tool
 // BackToBackImpairedOn is BackToBackImpaired on a caller-provided engine
 // (reset to the run's seed), so sweep workers and the chaos harness can
 // reuse warmed engines across impaired runs. seed still parameterizes the
-// two netem rng streams, exactly as BackToBackImpaired seeds them.
+// two netem rng streams, derived per direction with netem.StreamSeed — the
+// same (seed, link, direction) scheme the topology compiler uses.
 func BackToBackImpairedOn(eng *sim.Engine, seed int64, p Profile, t Tuning, imp Impairments) (*tools.Pair, *netem.Impair, *netem.Impair, error) {
 	a := buildHost(eng, p, t, "send", 1)
 	b := buildHost(eng, p, t, "recv", 2)
 	link := phys.NewLink(eng, "crossover", 10*units.GbitPerSecond, crossoverProp, phys.EthernetFraming{})
 
-	toB := netem.New(eng, b.NIC(0).Adapter, seed+1)
+	toB := netem.New(eng, b.NIC(0).Adapter, netem.StreamSeed(seed, "crossover", "a>b"))
 	imp.AtoB.apply(toB)
-	toA := netem.New(eng, a.NIC(0).Adapter, seed+2)
+	toA := netem.New(eng, a.NIC(0).Adapter, netem.StreamSeed(seed, "crossover", "b>a"))
 	imp.BtoA.apply(toA)
 
 	link.AtoB.SetDst(toB)

@@ -281,6 +281,75 @@ func TestScriptApply(t *testing.T) {
 	}
 }
 
+// TestScriptLazyApplication pins the lazy-application semantics SetScript
+// promises: no engine events are scheduled (compile quiescence, the
+// property parallel-DES shard replication rests on), several overdue steps
+// collapse to the last one at the next arrival, and a step due exactly at a
+// packet's time switches the knobs before that packet is judged.
+func TestScriptLazyApplication(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := &collector{eng: eng}
+	im := New(eng, c, 1)
+	err := im.SetScript(Script{
+		{At: 2 * units.Microsecond, Fault: Fault{LinkDown: true}},
+		{At: 4 * units.Microsecond, Fault: Fault{LossProb: 1.0}},
+		{At: 8 * units.Microsecond}, // heal
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("SetScript scheduled %d engine events; lazy scripts must schedule none", eng.Pending())
+	}
+	// First packet arrives at 5µs: both overdue steps apply, last wins —
+	// the carrier is up, the loss knob drops the packet.
+	for _, at := range []units.Time{5 * units.Microsecond, 8 * units.Microsecond} {
+		at := at
+		eng.Schedule(at, func() { im.Receive(&packet.Packet{ID: uint64(at)}) })
+	}
+	eng.Run()
+	if im.LinkDown() {
+		t.Error("stale linkDown: the 4µs step should have superseded the 2µs one")
+	}
+	if im.FlapDropped() != 0 || im.Dropped() != 1 {
+		t.Errorf("flap=%d dropped=%d; want the 5µs packet lost to LossProb only",
+			im.FlapDropped(), im.Dropped())
+	}
+	// The 8µs packet arrives exactly at the heal step's time: heal first.
+	if len(c.got) != 1 || c.got[0].ID != uint64(8*units.Microsecond) {
+		t.Errorf("delivered %v; want exactly the 8µs packet", c.got)
+	}
+}
+
+// TestStreamSeed pins the per-link stream derivation: a pure function of
+// (seed, link, direction) — order of construction never enters — with
+// distinct streams for every distinct identity, including the
+// concatenation ambiguity ("ab","c") vs ("a","bc").
+func TestStreamSeed(t *testing.T) {
+	if StreamSeed(42, "trunk-0", "a>b") != StreamSeed(42, "trunk-0", "a>b") {
+		t.Error("StreamSeed is not deterministic")
+	}
+	seeds := map[int64]string{}
+	for _, tc := range []struct {
+		seed      int64
+		link, dir string
+	}{
+		{42, "trunk-0", "a>b"},
+		{42, "trunk-0", "b>a"},
+		{42, "trunk-1", "a>b"},
+		{43, "trunk-0", "a>b"},
+		{42, "ab", "c"},
+		{42, "a", "bc"},
+	} {
+		id := tc.link + "|" + tc.dir
+		s := StreamSeed(tc.seed, tc.link, tc.dir)
+		if prev, dup := seeds[s]; dup {
+			t.Errorf("seed collision: (%d,%s) and %s both map to %d", tc.seed, id, prev, s)
+		}
+		seeds[s] = id
+	}
+}
+
 // TestScriptValidate rejects impossible link conditions.
 func TestScriptValidate(t *testing.T) {
 	bad := []Script{

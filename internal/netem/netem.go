@@ -73,6 +73,9 @@ type Impair struct {
 	geBad    bool // current Gilbert-Elliott state
 	linkDown bool // carrier lost: everything is dropped
 
+	script    []Step // lazily-applied fault schedule, sorted by step time
+	scriptIdx int    // first script step not yet applied
+
 	seen        int64
 	dropped     int64
 	corrupted   int64
@@ -90,6 +93,39 @@ func New(eng *sim.Engine, dst phys.Receiver, seed int64) *Impair {
 	im := &Impair{eng: eng, dst: dst, rng: rand.New(rand.NewSource(seed))}
 	im.deliverCb = func(x any) { im.deliverDelayed(x.(*delayed)) }
 	return im
+}
+
+// StreamSeed derives the rng seed for one link direction's Impair purely
+// from the campaign seed and the direction's stable identity — link name
+// plus direction key — never from construction order. Two compiles that
+// build impairs in different orders, or build different subsets of them
+// (sparse parallel-DES replicas), therefore hand every surviving Impair an
+// identical draw stream, which is what makes fault-scripted runs
+// shard-count exact. The mix is FNV-1a over link NUL dir, xored with the
+// seed and finished with SplitMix64 so structured names and small seeds
+// still land anywhere in the 64-bit space.
+func StreamSeed(seed int64, link, dir string) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(link); i++ {
+		h = (h ^ uint64(link[i])) * prime64
+	}
+	h *= prime64 // NUL separator: ("ab","c") must not collide with ("a","bc")
+	for i := 0; i < len(dir); i++ {
+		h = (h ^ uint64(dir[i])) * prime64
+	}
+	return int64(splitmix64(h ^ uint64(seed)))
+}
+
+// splitmix64 is the SplitMix64 finalizer: a bijective avalanche mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // Seen returns packets observed.
@@ -130,6 +166,15 @@ func (im *Impair) LinkDown() bool { return im.linkDown }
 // enabling a new fault class never perturbs the draw sequence — and thus the
 // simulated outcome — of a configuration that does not use it.
 func (im *Impair) Receive(pk *packet.Packet) {
+	// Fault scripts apply lazily: any step due by now switches the knobs
+	// before this packet is judged. At a step's exact time this matches the
+	// old engine-timer ordering (the switch preceded same-instant packets),
+	// without the pending events that kept fault-scripted topologies from
+	// compiling quiescently under parallel-DES shards.
+	for im.scriptIdx < len(im.script) && im.script[im.scriptIdx].At <= im.eng.Now() {
+		im.SetFault(im.script[im.scriptIdx].Fault)
+		im.scriptIdx++
+	}
 	im.seen++
 	n := im.seen
 	if im.linkDown {

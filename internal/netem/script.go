@@ -82,27 +82,39 @@ func (im *Impair) SetFault(f Fault) {
 	im.linkDown = f.LinkDown
 }
 
-// Apply schedules the script's fault switches on eng. Steps are applied in
-// time order regardless of slice order; steps at or before the current
-// simulated time are applied immediately, last one winning. Apply panics on
-// an invalid script — validate untrusted scripts first.
-func (s Script) Apply(eng *sim.Engine, im *Impair) {
+// SetScript installs s as the Impair's fault schedule, replacing any
+// previous one. Steps take effect lazily: the first packet the Impair sees
+// at or after a step's time switches the knobs before that packet is
+// judged, which preserves the engine-time ordering timer-based scheduling
+// had (a switch at time T precedes same-instant packets) while scheduling
+// no engine events. That absence is load-bearing for parallel DES — a
+// fault-scripted topology compiles to a quiescent engine, so replicated
+// shards cannot diverge on script bookkeeping. A fault is only observable
+// through the packets it impairs, so deferring an idle link's switch to
+// the next arrival is outcome-identical.
+func (im *Impair) SetScript(s Script) error {
 	if err := s.Validate(); err != nil {
-		panic(err.Error())
+		return err
 	}
 	if len(s) == 0 {
-		return
+		im.script, im.scriptIdx = nil, 0
+		return nil
 	}
 	ordered := make([]Step, len(s))
 	copy(ordered, s)
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].At < ordered[j].At })
-	now := eng.Now()
-	for _, st := range ordered {
-		if st.At <= now {
-			im.SetFault(st.Fault)
-			continue
-		}
-		f := st.Fault
-		eng.Schedule(st.At, func() { im.SetFault(f) })
+	im.script = ordered
+	im.scriptIdx = 0
+	return nil
+}
+
+// Apply installs the script on im (see SetScript): steps are applied in
+// time order regardless of slice order, lazily as packets arrive. The eng
+// parameter is retained for call-site compatibility; lazy application
+// needs no scheduler. Apply panics on an invalid script — validate
+// untrusted scripts first.
+func (s Script) Apply(eng *sim.Engine, im *Impair) {
+	if err := im.SetScript(s); err != nil {
+		panic(err.Error())
 	}
 }

@@ -77,15 +77,20 @@
 //     reconstructed from per-event liveness atoms via a canonical
 //     content-sorted replay (sim.ReplayHighWater), reported identically for
 //     every shard count including one.
-//
-// Topologies with fault scripts are rejected above one shard: netem draws
-// from the engine RNG, and replicated engines would draw different streams.
+//   - Fault streams. Each scripted link direction owns a private rng seeded
+//     by netem.StreamSeed(seed, link, direction) — a pure function of the
+//     spec, not of compile order — and scripts apply lazily on packet
+//     arrival (no engine events). Every packet of a direction is judged by
+//     exactly one shard's Impair (the owner of the receiving end) in
+//     single-engine event order, so fault draws, and therefore outcomes,
+//     are identical at every shard count.
 package pdes
 
 import (
 	"fmt"
 	"time"
 
+	"tengig/internal/netem"
 	"tengig/internal/sim"
 	"tengig/internal/telemetry"
 	"tengig/internal/topo"
@@ -292,14 +297,6 @@ func New(spec *topo.Spec, opts Options) (*Runner, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	if opts.Shards > 1 {
-		for i := range spec.Links {
-			if spec.Links[i].Faults != nil {
-				return nil, fmt.Errorf("pdes: topo %s: link %s has fault scripts; faults draw the engine RNG, which replicated shard engines cannot share (run with 1 shard)",
-					spec.Name, spec.Links[i].EffectiveName())
-			}
-		}
-	}
 	plan, err := topo.Partition(spec, opts.Shards)
 	if err != nil {
 		return nil, err
@@ -343,6 +340,26 @@ func (r *Runner) prepareSparse() error {
 	if pendAfter >= 0 {
 		return fmt.Errorf("pdes: topo %s: flow %d's handshake leaves events pending; sparse replicas need per-flow compile quiescence",
 			spec.Name, pendAfter)
+	}
+	// A fault step due during compile could impair handshake packets and
+	// consume rng draws; a sparse subset skips foreign flows' handshakes, so
+	// its Impairs would enter the window loop at a different stream position
+	// than the full compile's. Steps strictly after the compile horizon
+	// cannot: every knob is zero while handshakes run, no draws happen, and
+	// the streams of full and sparse replicas are aligned at position 0.
+	for li := range spec.Links {
+		l := &spec.Links[li]
+		if l.Faults == nil {
+			continue
+		}
+		for _, s := range []netem.Script{l.Faults.AtoB, l.Faults.BtoA} {
+			for _, st := range s {
+				if st.At <= eng.Now() {
+					return fmt.Errorf("pdes: topo %s: link %s fault step at %v is inside the compile horizon (handshakes end at %v); sparse replicas need fault-free compiles",
+						spec.Name, l.EffectiveName(), st.At, eng.Now())
+				}
+			}
+		}
 	}
 	paths, err := topo.FlowPaths(spec)
 	if err != nil {

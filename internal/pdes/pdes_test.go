@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"math/rand"
 	"path/filepath"
 	"reflect"
 	"runtime"
@@ -215,18 +216,208 @@ func TestSingleShardMatchesRunFlows(t *testing.T) {
 	}
 }
 
-// TestFaultScriptsRejected: fault scripts draw the engine RNG, which
-// replicated shards cannot share.
-func TestFaultScriptsRejected(t *testing.T) {
-	spec := loadSpec(t, "paper-baseline.json")
+// compileHorizon reports the simulated time at which spec's compile-time
+// handshakes end, so tests can place fault steps strictly after it (the
+// sparse-eligibility requirement).
+func compileHorizon(t *testing.T, spec *topo.Spec) units.Time {
+	t.Helper()
+	eng := sim.NewEngine(42)
+	if _, err := topo.Compile(eng, spec, 42); err != nil {
+		t.Fatalf("reference compile: %v", err)
+	}
+	return eng.Now()
+}
+
+// chaosOverlay installs a deterministic chaos schedule — a Gilbert-Elliott
+// loss burst, independent loss with duplication, and reordering with
+// corruption, each healed a few milliseconds later — on the first two links
+// of spec, with every step after horizon h so the spec stays
+// sparse-eligible. reorder scales the reorder deferral to the topology's
+// propagation delays.
+func chaosOverlay(t *testing.T, spec *topo.Spec, h, reorder units.Time) {
+	t.Helper()
+	if len(spec.Links) < 2 {
+		t.Fatalf("%s: need >=2 links for a chaos overlay", spec.Name)
+	}
+	ms := units.Millisecond
 	spec.Links[0].Faults = &topo.LinkFaults{
-		AtoB: netem.Script{{At: units.Millisecond, Fault: netem.Fault{LossProb: 1e-4}}},
+		AtoB: netem.Script{
+			{At: h + 1*ms, Fault: netem.Fault{GE: netem.GEConfig{
+				Enabled: true, PGoodBad: 0.05, PBadGood: 0.3, LossBad: 0.25}}},
+			{At: h + 6*ms}, // heal
+		},
+		BtoA: netem.Script{
+			{At: h + 2*ms, Fault: netem.Fault{LossProb: 0.02, DupProb: 0.02}},
+			{At: h + 8*ms}, // heal
+		},
 	}
-	if _, err := New(spec, Options{Shards: 2}); err == nil {
-		t.Fatal("fault-scripted spec accepted above one shard")
+	spec.Links[1].Faults = &topo.LinkFaults{
+		AtoB: netem.Script{
+			{At: h + 3*ms, Fault: netem.Fault{
+				ReorderProb: 0.1, ReorderDelay: reorder, CorruptProb: 0.01}},
+			{At: h + 9*ms}, // heal
+		},
 	}
-	if _, err := New(spec, Options{Shards: 1}); err != nil {
-		t.Fatalf("fault-scripted spec rejected at one shard: %v", err)
+}
+
+// TestFaultedShardedEquivalence extends the crown jewel to chaos: a
+// fault-scripted topology (scripts on two links, all fault classes) must
+// produce byte-identical flow results, fabric counters, and telemetry at
+// every shard count, under both barriers and both replica modes. This is
+// what per-link rng streams (netem.StreamSeed) plus lazy script application
+// buy: fault draws are a pure function of (seed, link, direction, packet
+// order), none of which depend on how the simulation is sharded.
+func TestFaultedShardedEquivalence(t *testing.T) {
+	cases := []struct {
+		file    string
+		reorder units.Time
+	}{
+		{"torus-grid.json", 200 * units.Microsecond}, // ms-scale trunks, wide windows
+		{"beowulf-star.json", 50 * units.Microsecond}, // LAN star, short lookahead
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.file, func(t *testing.T) {
+			clean := runShards(t, loadSpec(t, tc.file), 1)
+			spec := loadSpec(t, tc.file)
+			chaosOverlay(t, spec, compileHorizon(t, spec), tc.reorder)
+			base := runShards(t, spec, 1)
+			if reflect.DeepEqual(base.Flows, clean.Flows) {
+				t.Fatal("chaos overlay left flow results untouched — fault steps missed the run window")
+			}
+			baseSum := sha256.Sum256(base.Bundle.ExportJSONL())
+			baseCSV := base.Bundle.ExportCSV()
+			for shards := 2; shards <= 4; shards *= 2 {
+				for _, m := range eqModes {
+					m := m
+					t.Run(fmt.Sprintf("shards=%d/%s", shards, m.name), func(t *testing.T) {
+						res := runMode(t, spec, shards, m.barrier, m.replica)
+						if !reflect.DeepEqual(res.Flows, base.Flows) {
+							t.Errorf("flow results diverged:\n 1 shard: %+v\n%d shards: %+v",
+								base.Flows, shards, res.Flows)
+						}
+						if !reflect.DeepEqual(res.Fabric, base.Fabric) {
+							t.Errorf("fabric counters diverged")
+						}
+						if res.Events != base.Events {
+							t.Errorf("events: %d shards executed %d, 1 shard %d",
+								shards, res.Events, base.Events)
+						}
+						if res.HighWater != base.HighWater {
+							t.Errorf("high-water: %d shards %d, 1 shard %d",
+								shards, res.HighWater, base.HighWater)
+						}
+						if gotSum := sha256.Sum256(res.Bundle.ExportJSONL()); gotSum != baseSum {
+							t.Errorf("telemetry JSONL diverged (sha256 %x vs %x)", gotSum, baseSum)
+						}
+						if got := res.Bundle.ExportCSV(); string(got) != string(baseCSV) {
+							t.Errorf("telemetry CSV diverged")
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestChaosSoakUnderShards: seeded random fault schedules (the chaos
+// harness's fault classes, minus carrier flaps whose RTO stalls would blow
+// up the window count) over a multi-switch topology must stay shard-count
+// exact. Each seed scripts a random set of link directions and compares
+// shards {2, 4} against the single-shard run.
+func TestChaosSoakUnderShards(t *testing.T) {
+	randFault := func(rng *rand.Rand) netem.Fault {
+		switch rng.Intn(4) {
+		case 0:
+			return netem.Fault{LossProb: 0.01 + 0.04*rng.Float64()}
+		case 1:
+			return netem.Fault{GE: netem.GEConfig{
+				Enabled:  true,
+				PGoodBad: 0.02 + 0.1*rng.Float64(),
+				PBadGood: 0.2 + 0.3*rng.Float64(),
+				LossBad:  0.1 + 0.3*rng.Float64(),
+			}}
+		case 2:
+			return netem.Fault{DupProb: 0.02, CorruptProb: 0.005}
+		default:
+			return netem.Fault{ReorderProb: 0.05 + 0.1*rng.Float64(),
+				ReorderDelay: 100 * units.Microsecond}
+		}
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			spec := loadSpec(t, "fattree-pod.json")
+			h := compileHorizon(t, spec)
+			rng := rand.New(rand.NewSource(seed))
+			gen := func() netem.Script {
+				var s netem.Script
+				at := h + units.Time(1+rng.Intn(4))*units.Millisecond
+				for j := 0; j <= rng.Intn(2); j++ {
+					s = append(s, netem.Step{At: at, Fault: randFault(rng)})
+					at += units.Time(1+rng.Intn(3)) * units.Millisecond
+				}
+				return append(s, netem.Step{At: at}) // heal
+			}
+			perm := rng.Perm(len(spec.Links))
+			for _, li := range perm[:2+rng.Intn(3)] {
+				lf := &topo.LinkFaults{}
+				if rng.Intn(2) == 0 {
+					lf.AtoB = gen()
+				}
+				if rng.Intn(2) == 0 || len(lf.AtoB) == 0 {
+					lf.BtoA = gen()
+				}
+				spec.Links[li].Faults = lf
+			}
+			base := runShards(t, spec, 1)
+			baseSum := sha256.Sum256(base.Bundle.ExportJSONL())
+			for _, shards := range []int{2, 4} {
+				res := runShards(t, spec, shards)
+				if !reflect.DeepEqual(res.Flows, base.Flows) {
+					t.Errorf("shards=%d: flow results diverged", shards)
+				}
+				if !reflect.DeepEqual(res.Fabric, base.Fabric) {
+					t.Errorf("shards=%d: fabric counters diverged", shards)
+				}
+				if gotSum := sha256.Sum256(res.Bundle.ExportJSONL()); gotSum != baseSum {
+					t.Errorf("shards=%d: telemetry diverged", shards)
+				}
+			}
+		})
+	}
+}
+
+// TestFaultInsideCompileHorizon: a fault step due while compile-time
+// handshakes run could impair them and consume rng draws a sparse subset's
+// skipped handshakes never make, so sparse replicas must refuse it — and
+// ReplicaAuto must fall back to full replicas, which replay the whole
+// compile on every shard and therefore stay exact.
+func TestFaultInsideCompileHorizon(t *testing.T) {
+	faulted := func() *topo.Spec {
+		spec := loadSpec(t, "beowulf-star.json")
+		spec.Links[0].Faults = &topo.LinkFaults{AtoB: netem.Script{
+			{At: units.Microsecond, Fault: netem.Fault{DupProb: 0.01}},
+			{At: 5 * units.Millisecond, Fault: netem.Fault{LossProb: 0.01}},
+			{At: 9 * units.Millisecond},
+		}}
+		return spec
+	}
+	if _, err := New(faulted(), Options{Shards: 2, Seed: 42, Replica: ReplicaSparse}); err == nil {
+		t.Fatal("sparse replicas accepted a fault step inside the compile horizon")
+	}
+	r, err := New(faulted(), Options{Shards: 2, Seed: 42, Replica: ReplicaAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Replica() != ReplicaFull || r.SparseFallback() == nil {
+		t.Fatalf("auto mode picked %v (fallback: %v); want full with a recorded reason",
+			r.Replica(), r.SparseFallback())
+	}
+	base := runMode(t, faulted(), 1, BarrierSpin, ReplicaFull)
+	res := runMode(t, faulted(), 2, BarrierSpin, ReplicaFull)
+	if !reflect.DeepEqual(res.Flows, base.Flows) {
+		t.Error("full replicas diverged under an in-horizon fault script")
 	}
 }
 

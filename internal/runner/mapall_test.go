@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestMapTimedAllContainsFailures: one panicking item and one erroring item
@@ -110,5 +111,72 @@ func TestMapTimedAllRetries(t *testing.T) {
 	}
 	if errs[2] == nil || attempts[2] != 3 {
 		t.Fatalf("hard failure: err=%v attempts=%d (want 1+2 retries)", errs[2], attempts[2])
+	}
+}
+
+// TestMapTimedAllRetryBackoff: each retry is preceded by a sleep that grows
+// exponentially from Base, never exceeds Cap plus its jitter allowance, and
+// is deterministic for a fixed (Seed, index, attempt) — two identical
+// campaigns back off on an identical schedule.
+func TestMapTimedAllRetryBackoff(t *testing.T) {
+	run := func() []time.Duration {
+		var slept []time.Duration
+		retry := Retry{
+			Max:  5,
+			Base: 2 * time.Millisecond,
+			Cap:  10 * time.Millisecond,
+			Seed: 7,
+			Sleep: func(d time.Duration) {
+				slept = append(slept, d)
+			},
+		}
+		_, _, errs := MapTimedAllRetry(func(int) struct{} { return struct{}{} },
+			[]int{0}, 1, retry, nil, func(_ struct{}, _, _ int) (int, error) {
+				return 0, errors.New("always fails")
+			})
+		if errs[0] == nil {
+			t.Fatal("hard failure healed itself")
+		}
+		return slept
+	}
+	first := run()
+	if len(first) != 5 {
+		t.Fatalf("5 retries should sleep 5 times, slept %d", len(first))
+	}
+	for k, d := range first {
+		// Attempt k+1 backs off in [min(Base<<k, Cap), min(Base<<k, Cap)*1.5].
+		base := 2 * time.Millisecond << k
+		if base > 10*time.Millisecond {
+			base = 10 * time.Millisecond
+		}
+		if d < base || d > base+base/2 {
+			t.Errorf("retry %d slept %v, want within [%v, %v]", k+1, d, base, base+base/2)
+		}
+	}
+	if fmt.Sprint(first) != fmt.Sprint(run()) {
+		t.Errorf("backoff schedule not deterministic: %v vs rerun", first)
+	}
+	if first[0] == first[1] && first[1] == first[2] {
+		t.Errorf("no jitter visible in schedule %v", first)
+	}
+}
+
+// TestMapTimedAllSurfacesAttempt: the PanicError an exhausted item reports
+// carries the attempt number that produced it, and Error() mentions it.
+func TestMapTimedAllSurfacesAttempt(t *testing.T) {
+	noSleep := Retry{Max: 2, Sleep: func(time.Duration) {}}
+	_, _, errs := MapTimedAllRetry(func(int) struct{} { return struct{}{} },
+		[]int{0}, 1, noSleep, nil, func(_ struct{}, _, _ int) (int, error) {
+			panic("always panics")
+		})
+	var pe *PanicError
+	if !errors.As(errs[0], &pe) {
+		t.Fatalf("want PanicError, got %v", errs[0])
+	}
+	if pe.Attempt != 3 {
+		t.Fatalf("want attempt 3 (1 try + 2 retries), got %d", pe.Attempt)
+	}
+	if !strings.Contains(pe.Error(), "attempt 3") {
+		t.Fatalf("Error() hides the attempt count: %v", pe.Error())
 	}
 }

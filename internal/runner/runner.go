@@ -27,9 +27,17 @@ type PanicError struct {
 	Label string // the run's label (Spec.Label or the item's %v form)
 	Value any    // the value passed to panic()
 	Stack []byte // goroutine stack at the recover point
+	// Attempt is the 1-based attempt that produced this panic, when the
+	// panic happened under MapTimedAll's retry loop (0 elsewhere). A final
+	// error with Attempt > 1 means retries were spent before it stood.
+	Attempt int
 }
 
 func (e *PanicError) Error() string {
+	if e.Attempt > 1 {
+		return fmt.Sprintf("runner: run %d (%s) panicked on attempt %d: %v\n%s",
+			e.Index, e.Label, e.Attempt, e.Value, e.Stack)
+	}
 	return fmt.Sprintf("runner: run %d (%s) panicked: %v\n%s",
 		e.Index, e.Label, e.Value, e.Stack)
 }
@@ -248,6 +256,68 @@ func MapTimedAll[S, T, R any](newState func(worker int) S, items []T, workers, r
 // MapTimedWithProgress: progress fires once per item after its final attempt,
 // whether it succeeded or exhausted its retries.
 func MapTimedAllProgress[S, T, R any](newState func(worker int) S, items []T, workers, retries int, progress func(done, total int), f func(state S, i int, item T) (R, error)) ([]R, []time.Duration, []error) {
+	return MapTimedAllRetry(newState, items, workers, Retry{Max: retries}, progress, f)
+}
+
+// Retry configures MapTimedAll's failure handling: up to Max extra attempts
+// per item, each preceded by a capped exponential backoff with
+// deterministic jitter — a transient failure (resource pressure, a racing
+// external dependency) gets breathing room to clear instead of being
+// hammered in a hot loop, and the worker still never sleeps unless the item
+// actually failed.
+type Retry struct {
+	// Max is the number of extra attempts after the first failure.
+	Max int
+	// Base is the delay before the first retry; it doubles per subsequent
+	// attempt up to Cap. Zero means DefaultRetryBase.
+	Base time.Duration
+	// Cap bounds the exponential growth. Zero means DefaultRetryCap.
+	Cap time.Duration
+	// Seed parameterizes the jitter stream. The jitter for a given
+	// (Seed, item index, attempt) is a pure function, so a rerun of the
+	// same campaign backs off identically — determinism extends even to
+	// the retry schedule.
+	Seed int64
+	// Sleep replaces time.Sleep, for tests. Nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// Default backoff window: wide enough to let a transient clear, short
+// enough that a sweep point's retries stay invisible next to its run time.
+const (
+	DefaultRetryBase = 2 * time.Millisecond
+	DefaultRetryCap  = 250 * time.Millisecond
+)
+
+// backoff returns the delay before retry attempt (1-based): capped
+// exponential growth from Base, plus deterministic jitter in [0, d/2) so
+// simultaneous retries across workers fan out instead of re-colliding.
+func (r Retry) backoff(index, attempt int) time.Duration {
+	base, ceil := r.Base, r.Cap
+	if base <= 0 {
+		base = DefaultRetryBase
+	}
+	if ceil <= 0 {
+		ceil = DefaultRetryCap
+	}
+	d := base
+	for k := 1; k < attempt && d < ceil; k++ {
+		d *= 2
+	}
+	if d > ceil {
+		d = ceil
+	}
+	x := uint64(r.Seed)
+	x ^= uint64(index)*0x9e3779b97f4a7c15 + uint64(attempt)
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return d + time.Duration(x%uint64(d/2+1))
+}
+
+// MapTimedAllRetry is MapTimedAllProgress with an explicit retry policy.
+func MapTimedAllRetry[S, T, R any](newState func(worker int) S, items []T, workers int, retry Retry, progress func(done, total int), f func(state S, i int, item T) (R, error)) ([]R, []time.Duration, []error) {
 	out := make([]R, len(items))
 	walls := make([]time.Duration, len(items))
 	errs := make([]error, len(items))
@@ -255,6 +325,10 @@ func MapTimedAllProgress[S, T, R any](newState func(worker int) S, items []T, wo
 	states := make([]S, w)
 	inited := make([]bool, w)
 	tick := progressFunc(progress, len(items))
+	sleep := retry.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
 	fan(len(items), w, func(worker, i int) {
 		start := time.Now()
 		for attempt := 0; ; attempt++ {
@@ -268,11 +342,13 @@ func MapTimedAllProgress[S, T, R any](newState func(worker int) S, items []T, wo
 			}
 			var pe *PanicError
 			if errors.As(errs[i], &pe) {
+				pe.Attempt = attempt + 1
 				inited[worker] = false
 			}
-			if attempt >= retries {
+			if attempt >= retry.Max {
 				break
 			}
+			sleep(retry.backoff(i, attempt+1))
 		}
 		walls[i] = time.Since(start)
 		tick()

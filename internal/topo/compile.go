@@ -353,19 +353,29 @@ func (n *Network) wireLink(li int, portOn map[string]map[int]int, seed int64) er
 		}
 		n.links = append(n.links, ends)
 		if l.Faults != nil {
+			// Seed each direction's rng stream from (seed, link name, spec
+			// direction) — never from link index or compile order — so a
+			// sparse-subset compile that skips other links hands this Impair
+			// the exact stream a full compile would (netem.StreamSeed).
 			up, down := l.Faults.AtoB, l.Faults.BtoA
+			dirUp, dirDown := l.A+">"+l.B, l.B+">"+l.A
 			if isHostB { // spec A is the switch: a_to_b is switch-to-host
 				up, down = l.Faults.BtoA, l.Faults.AtoB
+				dirUp, dirDown = dirDown, dirUp
 			}
 			if len(up) > 0 {
-				im := netem.New(n.Eng, sw.In(), seed+2*int64(li))
-				up.Apply(n.Eng, im)
+				im := netem.New(n.Eng, sw.In(), netem.StreamSeed(seed, name, dirUp))
+				if err := im.SetScript(up); err != nil {
+					return fmt.Errorf("link %s: %w", name, err)
+				}
 				att.ToSwitch.SetDst(im)
 				n.addImpair(name+"/up", im)
 			}
 			if len(down) > 0 {
-				im := netem.New(n.Eng, h.NIC(0).Adapter, seed+2*int64(li)+1)
-				down.Apply(n.Eng, im)
+				im := netem.New(n.Eng, h.NIC(0).Adapter, netem.StreamSeed(seed, name, dirDown))
+				if err := im.SetScript(down); err != nil {
+					return fmt.Errorf("link %s: %w", name, err)
+				}
 				att.ToDevice.SetDst(im)
 				n.addImpair(name+"/down", im)
 			}
@@ -381,14 +391,18 @@ func (n *Network) wireLink(li int, portOn map[string]map[int]int, seed int64) er
 		})
 		if l.Faults != nil {
 			if len(l.Faults.AtoB) > 0 {
-				im := netem.New(n.Eng, swB.In(), seed+2*int64(li))
-				l.Faults.AtoB.Apply(n.Eng, im)
+				im := netem.New(n.Eng, swB.In(), netem.StreamSeed(seed, name, l.A+">"+l.B))
+				if err := im.SetScript(l.Faults.AtoB); err != nil {
+					return fmt.Errorf("link %s: %w", name, err)
+				}
 				tr.AtoB.SetDst(im)
 				n.addImpair(name+"/"+l.A+">"+l.B, im)
 			}
 			if len(l.Faults.BtoA) > 0 {
-				im := netem.New(n.Eng, swA.In(), seed+2*int64(li)+1)
-				l.Faults.BtoA.Apply(n.Eng, im)
+				im := netem.New(n.Eng, swA.In(), netem.StreamSeed(seed, name, l.B+">"+l.A))
+				if err := im.SetScript(l.Faults.BtoA); err != nil {
+					return fmt.Errorf("link %s: %w", name, err)
+				}
 				tr.BtoA.SetDst(im)
 				n.addImpair(name+"/"+l.B+">"+l.A, im)
 			}
